@@ -1,0 +1,71 @@
+//===- BenchUtil.h - Shared helpers for the benchmark harnesses -*- C++ -*-===//
+///
+/// \file
+/// Common plumbing for the experiment harnesses in bench/: environment-knob
+/// parsing (so quick runs and full paper-scale runs use the same binaries)
+/// and small reporting helpers.
+///
+/// Knobs:
+///   LOCUS_BENCH_BUDGET  search assessments per experiment (default varies)
+///   LOCUS_BENCH_SIZE    problem-size override
+///   LOCUS_BENCH_SCALE   corpus scale for Table I (1.0 = the paper's 856)
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_BENCH_BENCHUTIL_H
+#define LOCUS_BENCH_BENCHUTIL_H
+
+#include "src/cir/Parser.h"
+#include "src/eval/Evaluator.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace locus {
+namespace bench {
+
+inline int envInt(const char *Name, int Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atoi(V) : Default;
+}
+
+inline double envDouble(const char *Name, double Default) {
+  const char *V = std::getenv(Name);
+  return V ? std::atof(V) : Default;
+}
+
+inline std::unique_ptr<cir::Program> mustParse(const std::string &Source) {
+  auto P = cir::parseProgram(Source);
+  if (!P.ok()) {
+    std::fprintf(stderr, "fatal: baseline parse error: %s\n",
+                 P.message().c_str());
+    std::exit(1);
+  }
+  return std::move(*P);
+}
+
+/// Runs a program once on the given machine; exits on failure.
+inline eval::RunResult mustRun(const cir::Program &P,
+                               const machine::MachineConfig &M) {
+  eval::EvalOptions Opts;
+  Opts.Machine = M;
+  eval::RunResult R = eval::evaluateProgram(P, Opts);
+  if (!R.Ok) {
+    std::fprintf(stderr, "fatal: evaluation failed: %s\n", R.Error.c_str());
+    std::exit(1);
+  }
+  return R;
+}
+
+inline void banner(const char *Title) {
+  std::printf("\n================================================================\n"
+              "%s\n"
+              "================================================================\n",
+              Title);
+}
+
+} // namespace bench
+} // namespace locus
+
+#endif // LOCUS_BENCH_BENCHUTIL_H

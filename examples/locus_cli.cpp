@@ -1,0 +1,237 @@
+//===- locus_cli.cpp - Command-line driver for the Locus system ---------------===//
+//
+// The tool a downstream user runs, wrapping the full pipeline:
+//
+//   locus_cli PROGRAM.locus SOURCE.c [options]
+//
+//   --direct              run the direct workflow (program has no search
+//                         constructs, or every construct is pinned by --point)
+//   --point FILE          pin the search constructs from a serialized point
+//   --search NAME         search module: bandit (default), tpe, random,
+//                         hillclimb, de, exhaustive
+//   --budget N            variant assessments (default 100)
+//   --seed N              search seed (default 42)
+//   --machine xeon|tiny   simulated machine (default xeon)
+//   --cores N             override the core count
+//   --emit-c FILE         write the best variant as compilable C
+//   --export-direct FILE  write the pinned direct Locus program (Section II)
+//   --export-point FILE   write the best point in serialized form
+//   --native              additionally time the best variant with the system
+//                         C compiler (the paper's buildcmd/runcmd path)
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/cir/Parser.h"
+#include "src/cir/Printer.h"
+#include "src/driver/Orchestrator.h"
+#include "src/eval/NativeEvaluator.h"
+#include "src/locus/LocusParser.h"
+#include "src/locus/LocusPrinter.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace locus;
+
+namespace {
+
+std::string readFile(const std::string &Path, bool &Ok) {
+  std::ifstream In(Path);
+  Ok = static_cast<bool>(In);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+bool writeFile(const std::string &Path, const std::string &Text) {
+  std::ofstream Out(Path);
+  if (!Out)
+    return false;
+  Out << Text;
+  return static_cast<bool>(Out);
+}
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s PROGRAM.locus SOURCE.c [--direct] [--point FILE]\n"
+               "       [--search NAME] [--budget N] [--seed N]\n"
+               "       [--machine xeon|tiny] [--cores N]\n"
+               "       [--emit-c FILE] [--export-direct FILE]\n"
+               "       [--export-point FILE] [--native]\n",
+               Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 3)
+    return usage(argv[0]);
+  std::string ProgramPath = argv[1];
+  std::string SourcePath = argv[2];
+
+  bool Direct = false, Native = false;
+  std::string PointPath, EmitC, ExportDirect, ExportPoint;
+  driver::OrchestratorOptions Opts;
+  Opts.MaxEvaluations = 100;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--direct") {
+      Direct = true;
+    } else if (Arg == "--native") {
+      Native = true;
+    } else if (Arg == "--point") {
+      if (const char *V = Next())
+        PointPath = V;
+    } else if (Arg == "--search") {
+      if (const char *V = Next())
+        Opts.SearcherName = V;
+    } else if (Arg == "--budget") {
+      if (const char *V = Next())
+        Opts.MaxEvaluations = std::atoi(V);
+    } else if (Arg == "--seed") {
+      if (const char *V = Next())
+        Opts.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "--machine") {
+      const char *V = Next();
+      if (V && std::strcmp(V, "tiny") == 0)
+        Opts.Eval.Machine = machine::MachineConfig::tiny();
+      else
+        Opts.Eval.Machine = machine::MachineConfig::xeonE5v3();
+    } else if (Arg == "--cores") {
+      if (const char *V = Next())
+        Opts.Eval.Machine.Cores = std::atoi(V);
+    } else if (Arg == "--emit-c") {
+      if (const char *V = Next())
+        EmitC = V;
+    } else if (Arg == "--export-direct") {
+      if (const char *V = Next())
+        ExportDirect = V;
+    } else if (Arg == "--export-point") {
+      if (const char *V = Next())
+        ExportPoint = V;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+
+  bool Ok = false;
+  std::string LocusText = readFile(ProgramPath, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "cannot read %s\n", ProgramPath.c_str());
+    return 1;
+  }
+  std::string CText = readFile(SourcePath, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "cannot read %s\n", SourcePath.c_str());
+    return 1;
+  }
+
+  auto Prog = lang::parseLocusProgram(LocusText);
+  if (!Prog.ok()) {
+    std::fprintf(stderr, "%s: %s\n", ProgramPath.c_str(),
+                 Prog.message().c_str());
+    return 1;
+  }
+  auto Baseline = cir::parseProgram(CText);
+  if (!Baseline.ok()) {
+    std::fprintf(stderr, "%s: %s\n", SourcePath.c_str(),
+                 Baseline.message().c_str());
+    return 1;
+  }
+
+  driver::Orchestrator Orch(**Prog, **Baseline, Opts);
+
+  std::unique_ptr<cir::Program> Best;
+  search::Point BestPoint;
+  double BestCycles = 0;
+
+  if (Direct || !PointPath.empty()) {
+    Expected<driver::DirectResult> R = [&] {
+      if (PointPath.empty())
+        return Orch.runDirect();
+      std::string PointText = readFile(PointPath, Ok);
+      if (!Ok)
+        return Expected<driver::DirectResult>::error("cannot read " +
+                                                     PointPath);
+      // A point file needs the space to validate against.
+      auto Search = Orch.runSearch(); // extraction only matters; budget spent
+      (void)Search;
+      search::Space Dummy;
+      auto P = driver::deserializePoint(PointText, Dummy);
+      if (!P.ok())
+        return Expected<driver::DirectResult>::error(P.message());
+      BestPoint = *P;
+      return Orch.runPoint(*P);
+    }();
+    if (!R.ok()) {
+      std::fprintf(stderr, "direct run failed: %s\n", R.message().c_str());
+      return 1;
+    }
+    std::printf("direct variant: %.0f simulated cycles, %d transformations "
+                "applied\n",
+                R->Run.Cycles, R->Exec.TransformsApplied);
+    for (const std::string &Line : R->Exec.Log)
+      std::printf("  %s\n", Line.c_str());
+    Best = std::move(R->Variant);
+    BestCycles = R->Run.Cycles;
+  } else {
+    auto R = Orch.runSearch();
+    if (!R.ok()) {
+      std::fprintf(stderr, "search failed: %s\n", R.message().c_str());
+      return 1;
+    }
+    std::printf("space: %llu points (%zu parameters)\n",
+                (unsigned long long)R->Space.fullSize(),
+                R->Space.Params.size());
+    std::printf("%s", R->Space.describe().c_str());
+    std::printf("assessed %d variants (%d invalid, %d duplicates)\n",
+                R->Search.Evaluations, R->Search.InvalidPoints,
+                R->Search.DuplicatesSkipped);
+    std::printf("baseline %.0f cycles -> best %.0f cycles, speedup %.2fx%s\n",
+                R->BaselineCycles, R->BestCycles, R->Speedup,
+                R->BaselineChosen ? " (baseline kept)" : "");
+    Best = std::move(R->BestProgram);
+    BestPoint = R->Search.Best;
+    BestCycles = R->BestCycles;
+
+    if (!ExportPoint.empty() && !R->BaselineChosen)
+      if (!writeFile(ExportPoint, driver::serializePoint(BestPoint)))
+        std::fprintf(stderr, "cannot write %s\n", ExportPoint.c_str());
+    if (!ExportDirect.empty() && !R->BaselineChosen) {
+      auto DirectProg = lang::exportDirectProgram(**Prog, BestPoint);
+      if (DirectProg.ok()) {
+        if (!writeFile(ExportDirect, lang::printLocusProgram(**DirectProg)))
+          std::fprintf(stderr, "cannot write %s\n", ExportDirect.c_str());
+        else
+          std::printf("direct program written to %s\n", ExportDirect.c_str());
+      } else {
+        std::fprintf(stderr, "direct export failed: %s\n",
+                     DirectProg.message().c_str());
+      }
+    }
+  }
+
+  (void)BestCycles;
+  if (!EmitC.empty() && Best) {
+    if (!writeFile(EmitC, eval::emitNativeC(*Best)))
+      std::fprintf(stderr, "cannot write %s\n", EmitC.c_str());
+    else
+      std::printf("C source written to %s\n", EmitC.c_str());
+  }
+  if (Native && Best) {
+    eval::NativeResult NR = eval::evaluateNative(*Best);
+    if (NR.Ok)
+      std::printf("native run: %.6f s (checksum %.6f)\n", NR.Seconds,
+                  NR.Checksum);
+    else
+      std::fprintf(stderr, "native run failed: %s\n", NR.Error.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,84 @@
+//===- Affine.h - Affine form extraction -----------------------*- C++ -*-===//
+///
+/// \file
+/// Converts MiniC index/bound expressions into affine form over loop
+/// induction variables and symbolic parameters: sum(Coeff_i * Var_i) + Const.
+/// Expressions that cannot be put in this form (indirect accesses, modulo,
+/// products of variables) are rejected; dependence analysis then reports that
+/// dependences are unavailable, which drives the "IsDepAvailable" query used
+/// by the generic optimization program of Fig. 13.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_ANALYSIS_AFFINE_H
+#define LOCUS_ANALYSIS_AFFINE_H
+
+#include "src/cir/Ast.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+namespace locus {
+namespace analysis {
+
+/// An affine expression: Constant + sum of Coefficient * VariableName.
+/// Variables may be loop induction variables or symbolic parameters; the
+/// caller distinguishes them by name.
+class AffineExpr {
+public:
+  AffineExpr() = default;
+  explicit AffineExpr(int64_t Constant) : Constant(Constant) {}
+
+  static AffineExpr variable(const std::string &Name, int64_t Coeff = 1) {
+    AffineExpr E;
+    if (Coeff != 0)
+      E.Coeffs[Name] = Coeff;
+    return E;
+  }
+
+  int64_t constant() const { return Constant; }
+  const std::map<std::string, int64_t> &coeffs() const { return Coeffs; }
+
+  /// Coefficient of \p Name (0 when absent).
+  int64_t coeff(const std::string &Name) const {
+    auto It = Coeffs.find(Name);
+    return It == Coeffs.end() ? 0 : It->second;
+  }
+
+  bool isConstant() const { return Coeffs.empty(); }
+
+  AffineExpr operator+(const AffineExpr &Other) const;
+  AffineExpr operator-(const AffineExpr &Other) const;
+  AffineExpr scaled(int64_t Factor) const;
+
+  bool operator==(const AffineExpr &Other) const {
+    return Constant == Other.Constant && Coeffs == Other.Coeffs;
+  }
+
+  /// Renders "2*i + j + 3" style text for diagnostics.
+  std::string str() const;
+
+private:
+  void addTerm(const std::string &Name, int64_t Coeff) {
+    int64_t &Slot = Coeffs[Name];
+    Slot += Coeff;
+    if (Slot == 0)
+      Coeffs.erase(Name);
+  }
+
+  int64_t Constant = 0;
+  std::map<std::string, int64_t> Coeffs;
+};
+
+/// Tries to convert \p E into affine form. Returns nullopt for non-affine
+/// expressions. Every VarRef becomes a variable term; calls, modulo,
+/// divisions and variable products are non-affine. ArrayRef subscripts make
+/// the whole expression non-affine (indirect access).
+std::optional<AffineExpr> toAffine(const cir::Expr &E);
+
+} // namespace analysis
+} // namespace locus
+
+#endif // LOCUS_ANALYSIS_AFFINE_H

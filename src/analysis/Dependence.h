@@ -1,0 +1,111 @@
+//===- Dependence.h - Data dependence analysis -----------------*- C++ -*-===//
+///
+/// \file
+/// Data-dependence analysis over MiniC loop nests, in the style of the
+/// dependence tests the RoseLocus modules rely on in the paper (Section
+/// IV-A.2). Subscripts are put in affine form; ZIV / strong-SIV / GCD tests
+/// produce direction vectors which legality queries for interchange, tiling,
+/// unroll-and-jam, distribution and fusion consume.
+///
+/// When any access or loop bound is non-affine the analysis reports
+/// "dependences unavailable" (compute() returns nullopt) — this is the
+/// IsDepAvailable query of the Fig. 13 generic optimization program.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_ANALYSIS_DEPENDENCE_H
+#define LOCUS_ANALYSIS_DEPENDENCE_H
+
+#include "src/analysis/Affine.h"
+#include "src/cir/Ast.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace analysis {
+
+/// Classic dependence kinds.
+enum class DepKind { Flow, Anti, Output };
+
+/// One array (or scalar) access inside the analyzed nest.
+struct Access {
+  std::string Array;            ///< array name; scalars use their own name
+  std::vector<AffineExpr> Subs; ///< affine subscripts (empty for scalars)
+  bool IsWrite = false;
+  int LeafStmt = 0; ///< index of the owning leaf statement (preorder)
+  std::vector<const cir::ForStmt *> Loops; ///< enclosing loops, outer first
+};
+
+/// A dependence between two leaf statements with a direction vector over
+/// their common loops: '<', '=', '>' or '*' (unknown).
+struct Dependence {
+  int SrcStmt = 0;
+  int DstStmt = 0;
+  std::string Array;
+  DepKind Kind = DepKind::Flow;
+  /// True for scalar (unsubscripted) dependences; loop distribution must
+  /// keep scalar-linked statements together.
+  bool IsScalar = false;
+  std::vector<char> Dirs;
+  std::vector<const cir::ForStmt *> CommonLoops;
+
+  /// True when the dependence is carried by loop \p Level (first non-'='
+  /// position could be at Level).
+  bool mayBeCarriedBy(size_t Level) const;
+};
+
+/// Dependence analysis result for one loop nest.
+class DependenceInfo {
+public:
+  /// Analyzes the nest rooted at \p Root. Returns nullopt when dependences
+  /// cannot be computed (non-affine subscripts/bounds, unknown calls).
+  static std::optional<DependenceInfo> compute(const cir::ForStmt &Root);
+
+  const std::vector<Dependence> &deps() const { return Deps; }
+  const std::vector<Access> &accesses() const { return Accesses; }
+
+  /// Legality of permuting the perfect nest of Root with permutation
+  /// \p Perm (Perm[i] = original index of the loop placed at position i).
+  bool interchangeLegal(const std::vector<int> &Perm) const;
+
+  /// Legality of rectangular tiling of the loops at depths
+  /// [BandBegin, BandEnd] of the perfect nest (band must be fully
+  /// permutable or dependences satisfied outside it).
+  bool tilingLegal(size_t BandBegin, size_t BandEnd) const;
+
+  /// Legality of unroll-and-jam of the loop at depth \p Level.
+  bool unrollAndJamLegal(size_t Level) const;
+
+  /// Builds the statement-level dependence graph among the top-level
+  /// statements of \p Loop's body (indices into Loop->Body->Stmts).
+  /// Edge[a] contains b when some instance of statement-group a must execute
+  /// before some instance of statement-group b.
+  std::vector<std::vector<int>> stmtGraph(const cir::ForStmt &Loop) const;
+
+  /// Legality of distributing \p Loop's body statements into separate loops
+  /// in textual order without reordering (conservative: no backward edge
+  /// and no dependence cycle across distinct statements).
+  bool distributionLegal(const cir::ForStmt &Loop) const;
+
+  int leafStmtCount() const { return NumLeaves; }
+
+private:
+  /// Expands '*' entries and filters to plausible (lexicographically
+  /// non-negative) concrete vectors.
+  std::vector<std::vector<char>>
+  plausibleVectors(const Dependence &D) const;
+
+  std::vector<Access> Accesses;
+  std::vector<Dependence> Deps;
+  std::vector<const cir::Stmt *> LeafStmts;
+  std::vector<const cir::ForStmt *> NestLoops; ///< the perfect nest of Root
+  int NumLeaves = 0;
+
+  friend struct DependenceBuilder;
+};
+
+} // namespace analysis
+} // namespace locus
+
+#endif // LOCUS_ANALYSIS_DEPENDENCE_H

@@ -1,0 +1,60 @@
+//===- Pluto.h - Fixed-heuristic restructurer baseline ----------*- C++ -*-===//
+///
+/// \file
+/// A stand-in for the Pluto polyhedral compiler as used in the paper's
+/// comparisons (flags -tile, -l2tile, -parallel, -prevector): a one-shot,
+/// model-based restructurer with *no parameter tuning*. It applies the same
+/// transformations Locus searches over — rectangular tiling with the default
+/// 32 tile size (plus an optional second level), time-skewed tiling for
+/// stencils, outermost parallelization, innermost prevectorization — but
+/// picks every parameter from a fixed heuristic. Like Pluto, it only
+/// transforms affine (polyhedral-representable) nests; candidates whose
+/// legality cannot be proven are optionally validated by a caller-provided
+/// semantic check and dropped when it fails.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_BASELINE_PLUTO_H
+#define LOCUS_BASELINE_PLUTO_H
+
+#include "src/cir/Ast.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace locus {
+namespace baseline {
+
+struct PlutoOptions {
+  int TileSize = 32;      ///< Pluto's default tile size
+  bool L2Tile = false;    ///< -l2tile: second tiling level (factor 8 tiles)
+  bool Parallel = true;   ///< -parallel: OpenMP on the outermost loop
+  bool Prevector = true;  ///< -prevector: ivdep/vector on innermost loops
+  bool TrySkewedTiling = true; ///< time-tile stencil-shaped nests
+};
+
+struct PlutoOutcome {
+  bool Transformed = false;
+  std::unique_ptr<cir::Program> Program; ///< always set (baseline when not transformed)
+  std::string Summary;
+};
+
+/// Semantic validation callback: returns true when the candidate variant is
+/// acceptable (e.g. equal checksums with the baseline).
+using ValidateFn = std::function<bool(const cir::Program &)>;
+
+/// Runs the heuristic on the region \p RegionName of \p Baseline.
+/// \p Validate may be empty, in which case only provably legal candidates
+/// are produced.
+PlutoOutcome runPluto(const cir::Program &Baseline,
+                      const std::string &RegionName, const PlutoOptions &Opts,
+                      const ValidateFn &Validate = {});
+
+/// A hand-tuned blocked, parallel, vectorized DGEMM written directly in
+/// MiniC: the vendor-library (Intel MKL) stand-in of Fig. 6.
+std::string tunedDgemmSource(int M, int N, int K, int Block);
+
+} // namespace baseline
+} // namespace locus
+
+#endif // LOCUS_BASELINE_PLUTO_H

@@ -1,0 +1,83 @@
+//===- Ast.cpp - MiniC AST out-of-line pieces -----------------------------===//
+
+#include "src/cir/Ast.h"
+
+namespace locus {
+namespace cir {
+
+ExprPtr makeInt(int64_t Value) { return std::make_unique<IntLit>(Value); }
+
+ExprPtr makeVar(std::string Name) {
+  return std::make_unique<VarRef>(std::move(Name));
+}
+
+ExprPtr makeBin(BinOp Op, ExprPtr Lhs, ExprPtr Rhs) {
+  return std::make_unique<BinaryExpr>(Op, std::move(Lhs), std::move(Rhs));
+}
+
+ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args) {
+  return std::make_unique<CallExpr>(std::move(Callee), std::move(Args));
+}
+
+ExprPtr makeMin(ExprPtr Lhs, ExprPtr Rhs) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(Lhs));
+  Args.push_back(std::move(Rhs));
+  return makeCall("min", std::move(Args));
+}
+
+ExprPtr makeMax(ExprPtr Lhs, ExprPtr Rhs) {
+  std::vector<ExprPtr> Args;
+  Args.push_back(std::move(Lhs));
+  Args.push_back(std::move(Rhs));
+  return makeCall("max", std::move(Args));
+}
+
+namespace {
+
+/// Collects region blocks in source order.
+void collectRegions(Block &B, const std::string *Name,
+                    std::vector<Block *> *Out,
+                    std::vector<std::string> *NamesOut) {
+  if (!B.RegionName.empty()) {
+    if (NamesOut)
+      NamesOut->push_back(B.RegionName);
+    if (Out && Name && B.RegionName == *Name)
+      Out->push_back(&B);
+  }
+  for (auto &S : B.Stmts) {
+    if (auto *Sub = dyn_cast<Block>(S.get()))
+      collectRegions(*Sub, Name, Out, NamesOut);
+    else if (auto *For = dyn_cast<ForStmt>(S.get()))
+      collectRegions(*For->Body, Name, Out, NamesOut);
+    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+      collectRegions(*If->Then, Name, Out, NamesOut);
+      if (If->Else)
+        collectRegions(*If->Else, Name, Out, NamesOut);
+    }
+  }
+}
+
+} // namespace
+
+std::vector<Block *> Program::findRegions(const std::string &Name) {
+  std::vector<Block *> Result;
+  collectRegions(*Body, &Name, &Result, nullptr);
+  return Result;
+}
+
+std::vector<std::string> Program::regionNames() const {
+  std::vector<std::string> Names;
+  collectRegions(*const_cast<Block *>(Body.get()), nullptr, nullptr, &Names);
+  return Names;
+}
+
+const DeclStmt *Program::findGlobal(const std::string &Name) const {
+  for (const auto &D : Globals)
+    if (D->Name == Name)
+      return D.get();
+  return nullptr;
+}
+
+} // namespace cir
+} // namespace locus

@@ -1,0 +1,446 @@
+//===- Ast.h - MiniC abstract syntax tree ----------------------*- C++ -*-===//
+///
+/// \file
+/// The abstract syntax tree of MiniC, the C subset Locus operates on. This
+/// plays the role the Rose/Pips internal representations play in the paper:
+/// every transformation module rewrites this tree, and the unparser emits C
+/// source from it.
+///
+/// Design notes:
+///  - Nodes are owned through std::unique_ptr and deep-copied via clone().
+///  - A hand-rolled isa<>/cast<>/dyn_cast<> keyed on a Kind tag is used
+///    instead of RTTI, following LLVM conventions.
+///  - Any statement can carry a list of pragma strings; pragmas attach to the
+///    statement that follows them in the source (this is how the Pragma
+///    transformation module annotates loops with ivdep / vector / omp).
+///  - Blocks can be tagged with a region name; such blocks are the code
+///    regions named by "#pragma @Locus loop=NAME" / "block=NAME".
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_CIR_AST_H
+#define LOCUS_CIR_AST_H
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace cir {
+
+//===----------------------------------------------------------------------===//
+// Casting helpers
+//===----------------------------------------------------------------------===//
+
+/// Returns true if \p Node is non-null and of dynamic type \p T.
+template <typename T, typename NodeT> bool isa(const NodeT *Node) {
+  return Node && T::classof(Node);
+}
+
+/// Checked downcast; asserts the node really has type \p T.
+template <typename T, typename NodeT> T *cast(NodeT *Node) {
+  assert(isa<T>(Node) && "cast<> on node of wrong kind");
+  return static_cast<T *>(Node);
+}
+
+template <typename T, typename NodeT> const T *cast(const NodeT *Node) {
+  assert(isa<T>(Node) && "cast<> on node of wrong kind");
+  return static_cast<const T *>(Node);
+}
+
+/// Downcast that returns null when the node is not of type \p T.
+template <typename T, typename NodeT> T *dyn_cast(NodeT *Node) {
+  return isa<T>(Node) ? static_cast<T *>(Node) : nullptr;
+}
+
+template <typename T, typename NodeT> const T *dyn_cast(const NodeT *Node) {
+  return isa<T>(Node) ? static_cast<const T *>(Node) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+/// Scalar element types supported by MiniC.
+enum class ElemType { Int, Double };
+
+/// Binary operator kinds. Comparison and logical operators yield int (0/1).
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Eq,
+  Ne,
+  And,
+  Or
+};
+
+/// Unary operator kinds.
+enum class UnOp { Neg, Not };
+
+/// Discriminator for expression nodes.
+enum class ExprKind { IntLit, FloatLit, VarRef, ArrayRef, Binary, Unary, Call };
+
+class Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// Base class of all MiniC expressions.
+class Expr {
+public:
+  explicit Expr(ExprKind Kind) : Kind(Kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return Kind; }
+
+  /// Deep copy.
+  virtual ExprPtr clone() const = 0;
+
+private:
+  ExprKind Kind;
+};
+
+/// Integer literal.
+class IntLit : public Expr {
+public:
+  explicit IntLit(int64_t Value) : Expr(ExprKind::IntLit), Value(Value) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
+
+  ExprPtr clone() const override { return std::make_unique<IntLit>(Value); }
+
+  int64_t Value;
+};
+
+/// Floating-point literal.
+class FloatLit : public Expr {
+public:
+  explicit FloatLit(double Value) : Expr(ExprKind::FloatLit), Value(Value) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::FloatLit; }
+
+  ExprPtr clone() const override { return std::make_unique<FloatLit>(Value); }
+
+  double Value;
+};
+
+/// Reference to a scalar variable (or whole-array name inside a call).
+class VarRef : public Expr {
+public:
+  explicit VarRef(std::string Name)
+      : Expr(ExprKind::VarRef), Name(std::move(Name)) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
+
+  ExprPtr clone() const override { return std::make_unique<VarRef>(Name); }
+
+  std::string Name;
+};
+
+/// Subscripted array reference A[i][j]...
+class ArrayRef : public Expr {
+public:
+  ArrayRef(std::string Name, std::vector<ExprPtr> Indices)
+      : Expr(ExprKind::ArrayRef), Name(std::move(Name)),
+        Indices(std::move(Indices)) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::ArrayRef; }
+
+  ExprPtr clone() const override {
+    std::vector<ExprPtr> Copy;
+    Copy.reserve(Indices.size());
+    for (const auto &I : Indices)
+      Copy.push_back(I->clone());
+    return std::make_unique<ArrayRef>(Name, std::move(Copy));
+  }
+
+  std::string Name;
+  std::vector<ExprPtr> Indices;
+};
+
+/// Binary operation.
+class BinaryExpr : public Expr {
+public:
+  BinaryExpr(BinOp Op, ExprPtr Lhs, ExprPtr Rhs)
+      : Expr(ExprKind::Binary), Op(Op), Lhs(std::move(Lhs)),
+        Rhs(std::move(Rhs)) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
+
+  ExprPtr clone() const override {
+    return std::make_unique<BinaryExpr>(Op, Lhs->clone(), Rhs->clone());
+  }
+
+  BinOp Op;
+  ExprPtr Lhs;
+  ExprPtr Rhs;
+};
+
+/// Unary operation.
+class UnaryExpr : public Expr {
+public:
+  UnaryExpr(UnOp Op, ExprPtr Operand)
+      : Expr(ExprKind::Unary), Op(Op), Operand(std::move(Operand)) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
+
+  ExprPtr clone() const override {
+    return std::make_unique<UnaryExpr>(Op, Operand->clone());
+  }
+
+  UnOp Op;
+  ExprPtr Operand;
+};
+
+/// Call expression. The workload kernels only call intrinsics ("min", "max")
+/// plus harness no-ops ("rtclock", "init_array", ...), which the evaluator
+/// recognizes by name.
+class CallExpr : public Expr {
+public:
+  CallExpr(std::string Callee, std::vector<ExprPtr> Args)
+      : Expr(ExprKind::Call), Callee(std::move(Callee)), Args(std::move(Args)) {}
+
+  static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
+
+  ExprPtr clone() const override {
+    std::vector<ExprPtr> Copy;
+    Copy.reserve(Args.size());
+    for (const auto &A : Args)
+      Copy.push_back(A->clone());
+    return std::make_unique<CallExpr>(Callee, std::move(Copy));
+  }
+
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// Convenience constructors used heavily by transformations.
+ExprPtr makeInt(int64_t Value);
+ExprPtr makeVar(std::string Name);
+ExprPtr makeBin(BinOp Op, ExprPtr Lhs, ExprPtr Rhs);
+ExprPtr makeCall(std::string Callee, std::vector<ExprPtr> Args);
+/// min(Lhs, Rhs) intrinsic call.
+ExprPtr makeMin(ExprPtr Lhs, ExprPtr Rhs);
+/// max(Lhs, Rhs) intrinsic call.
+ExprPtr makeMax(ExprPtr Lhs, ExprPtr Rhs);
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class StmtKind { Block, For, If, Assign, Decl, CallStmt };
+
+class Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Base class of all MiniC statements. Every statement may carry pragma
+/// strings (e.g. "ivdep", "omp parallel for schedule(static)") which the
+/// unparser re-emits ahead of it and the evaluator interprets.
+class Stmt {
+public:
+  explicit Stmt(StmtKind Kind) : Kind(Kind) {}
+  virtual ~Stmt() = default;
+
+  StmtKind kind() const { return Kind; }
+
+  virtual StmtPtr clone() const = 0;
+
+  /// Pragmas attached to (preceding) this statement.
+  std::vector<std::string> Pragmas;
+
+protected:
+  /// Copies pragma annotations onto a freshly cloned node.
+  void copyPragmasTo(Stmt &Clone) const { Clone.Pragmas = Pragmas; }
+
+private:
+  StmtKind Kind;
+};
+
+/// A statement block ({ ... }). Blocks may be tagged with the name of a Locus
+/// code region, which makes them the anchor transformations operate on.
+class Block : public Stmt {
+public:
+  Block() : Stmt(StmtKind::Block) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
+
+  StmtPtr clone() const override {
+    auto Copy = std::make_unique<Block>();
+    Copy->RegionName = RegionName;
+    for (const auto &S : Stmts)
+      Copy->Stmts.push_back(S->clone());
+    copyPragmasTo(*Copy);
+    return Copy;
+  }
+
+  /// Non-empty when this block is a "#pragma @Locus" code region.
+  std::string RegionName;
+  std::vector<StmtPtr> Stmts;
+};
+
+/// Loop bound comparison in a canonical for statement.
+enum class BoundOp { Lt, Le };
+
+/// A canonical counted loop:
+///   for (Var = Init; Var (< | <=) Bound; Var += Step) Body
+class ForStmt : public Stmt {
+public:
+  ForStmt(std::string Var, ExprPtr Init, BoundOp Op, ExprPtr Bound,
+          int64_t Step, std::unique_ptr<Block> Body)
+      : Stmt(StmtKind::For), Var(std::move(Var)), Init(std::move(Init)),
+        Op(Op), Bound(std::move(Bound)), Step(Step), Body(std::move(Body)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
+
+  StmtPtr clone() const override {
+    auto BodyCopy = std::unique_ptr<Block>(cast<Block>(Body->clone().release()));
+    auto Copy = std::make_unique<ForStmt>(Var, Init->clone(), Op,
+                                          Bound->clone(), Step,
+                                          std::move(BodyCopy));
+    copyPragmasTo(*Copy);
+    return Copy;
+  }
+
+  std::string Var;
+  ExprPtr Init;
+  BoundOp Op;
+  ExprPtr Bound;
+  int64_t Step;
+  std::unique_ptr<Block> Body;
+};
+
+/// if (Cond) Then [else Else]
+class IfStmt : public Stmt {
+public:
+  IfStmt(ExprPtr Cond, std::unique_ptr<Block> Then, std::unique_ptr<Block> Else)
+      : Stmt(StmtKind::If), Cond(std::move(Cond)), Then(std::move(Then)),
+        Else(std::move(Else)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
+
+  StmtPtr clone() const override {
+    auto ThenCopy = std::unique_ptr<Block>(cast<Block>(Then->clone().release()));
+    std::unique_ptr<Block> ElseCopy;
+    if (Else)
+      ElseCopy = std::unique_ptr<Block>(cast<Block>(Else->clone().release()));
+    auto Copy = std::make_unique<IfStmt>(Cond->clone(), std::move(ThenCopy),
+                                         std::move(ElseCopy));
+    copyPragmasTo(*Copy);
+    return Copy;
+  }
+
+  ExprPtr Cond;
+  std::unique_ptr<Block> Then;
+  std::unique_ptr<Block> Else; // may be null
+};
+
+/// Assignment operator of an AssignStmt.
+enum class AssignOp { Set, Add, Sub, Mul };
+
+/// Lhs (=|+=|-=|*=) Rhs, where Lhs is a VarRef or ArrayRef.
+class AssignStmt : public Stmt {
+public:
+  AssignStmt(ExprPtr Lhs, AssignOp Op, ExprPtr Rhs)
+      : Stmt(StmtKind::Assign), Lhs(std::move(Lhs)), Op(Op),
+        Rhs(std::move(Rhs)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
+
+  StmtPtr clone() const override {
+    auto Copy =
+        std::make_unique<AssignStmt>(Lhs->clone(), Op, Rhs->clone());
+    copyPragmasTo(*Copy);
+    return Copy;
+  }
+
+  ExprPtr Lhs;
+  AssignOp Op;
+  ExprPtr Rhs;
+};
+
+/// A (possibly array) variable declaration. Dimensions are integer constants
+/// after parsing (the parser folds #define'd and const-int symbols).
+class DeclStmt : public Stmt {
+public:
+  DeclStmt(ElemType Elem, std::string Name, std::vector<int64_t> Dims,
+           ExprPtr Init)
+      : Stmt(StmtKind::Decl), Elem(Elem), Name(std::move(Name)),
+        Dims(std::move(Dims)), Init(std::move(Init)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
+
+  StmtPtr clone() const override {
+    auto Copy = std::make_unique<DeclStmt>(Elem, Name, Dims,
+                                           Init ? Init->clone() : nullptr);
+    copyPragmasTo(*Copy);
+    return Copy;
+  }
+
+  bool isArray() const { return !Dims.empty(); }
+
+  ElemType Elem;
+  std::string Name;
+  std::vector<int64_t> Dims;
+  ExprPtr Init; // scalar initializer; may be null
+};
+
+/// An expression statement wrapping a call (e.g. init_array();).
+class CallStmt : public Stmt {
+public:
+  explicit CallStmt(ExprPtr Call) : Stmt(StmtKind::CallStmt), Call(std::move(Call)) {}
+
+  static bool classof(const Stmt *S) { return S->kind() == StmtKind::CallStmt; }
+
+  StmtPtr clone() const override {
+    auto Copy = std::make_unique<CallStmt>(Call->clone());
+    copyPragmasTo(*Copy);
+    return Copy;
+  }
+
+  ExprPtr Call;
+};
+
+//===----------------------------------------------------------------------===//
+// Program
+//===----------------------------------------------------------------------===//
+
+/// A parsed MiniC translation unit: global declarations plus the body of the
+/// (implicit or explicit) main function. Code regions are Block nodes within
+/// Body whose RegionName is set.
+class Program {
+public:
+  Program() : Body(std::make_unique<Block>()) {}
+
+  /// Deep copy, used to materialize fresh variants per search point.
+  std::unique_ptr<Program> clone() const {
+    auto Copy = std::make_unique<Program>();
+    for (const auto &D : Globals)
+      Copy->Globals.push_back(
+          std::unique_ptr<DeclStmt>(cast<DeclStmt>(D->clone().release())));
+    Copy->Body = std::unique_ptr<Block>(cast<Block>(Body->clone().release()));
+    return Copy;
+  }
+
+  /// Returns all region blocks named \p Name, in source order.
+  std::vector<Block *> findRegions(const std::string &Name);
+
+  /// Returns the names of all regions, in source order (duplicates kept).
+  std::vector<std::string> regionNames() const;
+
+  /// Looks up a global declaration by name; null when absent.
+  const DeclStmt *findGlobal(const std::string &Name) const;
+
+  std::vector<std::unique_ptr<DeclStmt>> Globals;
+  std::unique_ptr<Block> Body;
+};
+
+} // namespace cir
+} // namespace locus
+
+#endif // LOCUS_CIR_AST_H

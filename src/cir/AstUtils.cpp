@@ -1,0 +1,417 @@
+//===- AstUtils.cpp - MiniC AST manipulation helpers -----------------------===//
+
+#include "src/cir/AstUtils.h"
+
+#include "src/cir/Printer.h"
+#include "src/support/Hashing.h"
+
+#include <algorithm>
+
+namespace locus {
+namespace cir {
+
+std::vector<ForStmt *> perfectNest(ForStmt &Root) {
+  std::vector<ForStmt *> Nest;
+  ForStmt *Current = &Root;
+  while (true) {
+    Nest.push_back(Current);
+    if (Current->Body->Stmts.size() != 1)
+      break;
+    auto *Next = dyn_cast<ForStmt>(Current->Body->Stmts.front().get());
+    if (!Next)
+      break;
+    Current = Next;
+  }
+  return Nest;
+}
+
+int loopNestDepth(const ForStmt &Root) {
+  int MaxChild = 0;
+  const std::function<int(const Block &)> BlockDepth =
+      [&](const Block &B) -> int {
+    int Max = 0;
+    for (const auto &S : B.Stmts) {
+      if (const auto *For = dyn_cast<ForStmt>(S.get()))
+        Max = std::max(Max, loopNestDepth(*For));
+      else if (const auto *Sub = dyn_cast<Block>(S.get()))
+        Max = std::max(Max, BlockDepth(*Sub));
+      else if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+        Max = std::max(Max, BlockDepth(*If->Then));
+        if (If->Else)
+          Max = std::max(Max, BlockDepth(*If->Else));
+      }
+    }
+    return Max;
+  };
+  MaxChild = BlockDepth(*Root.Body);
+  return 1 + MaxChild;
+}
+
+bool isPerfectNest(const ForStmt &Root) {
+  const ForStmt *Current = &Root;
+  while (true) {
+    if (Current->Body->Stmts.empty())
+      return true;
+    bool HasLoop = false;
+    for (const auto &S : Current->Body->Stmts)
+      if (isa<ForStmt>(S.get()))
+        HasLoop = true;
+    if (!HasLoop)
+      return true; // innermost body: any statements are fine
+    if (Current->Body->Stmts.size() != 1)
+      return false; // a loop plus siblings -> imperfect
+    Current = cast<ForStmt>(Current->Body->Stmts.front().get());
+  }
+}
+
+ExprPtr substituteVar(ExprPtr E, const std::string &Name,
+                      const Expr &Replacement) {
+  switch (E->kind()) {
+  case ExprKind::VarRef:
+    if (cast<VarRef>(E.get())->Name == Name)
+      return Replacement.clone();
+    return E;
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+    return E;
+  case ExprKind::ArrayRef: {
+    auto *A = cast<ArrayRef>(E.get());
+    for (auto &I : A->Indices)
+      I = substituteVar(std::move(I), Name, Replacement);
+    return E;
+  }
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E.get());
+    B->Lhs = substituteVar(std::move(B->Lhs), Name, Replacement);
+    B->Rhs = substituteVar(std::move(B->Rhs), Name, Replacement);
+    return E;
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E.get());
+    U->Operand = substituteVar(std::move(U->Operand), Name, Replacement);
+    return E;
+  }
+  case ExprKind::Call: {
+    auto *C = cast<CallExpr>(E.get());
+    for (auto &A : C->Args)
+      A = substituteVar(std::move(A), Name, Replacement);
+    return E;
+  }
+  }
+  return E;
+}
+
+void substituteVarInStmt(Stmt &S, const std::string &Name,
+                         const Expr &Replacement) {
+  forEachExpr(S, [&](ExprPtr &E) {
+    E = substituteVar(std::move(E), Name, Replacement);
+  });
+}
+
+bool exprEquals(const Expr &A, const Expr &B) {
+  if (A.kind() != B.kind())
+    return false;
+  switch (A.kind()) {
+  case ExprKind::IntLit:
+    return cast<IntLit>(&A)->Value == cast<IntLit>(&B)->Value;
+  case ExprKind::FloatLit:
+    return cast<FloatLit>(&A)->Value == cast<FloatLit>(&B)->Value;
+  case ExprKind::VarRef:
+    return cast<VarRef>(&A)->Name == cast<VarRef>(&B)->Name;
+  case ExprKind::ArrayRef: {
+    const auto *X = cast<ArrayRef>(&A);
+    const auto *Y = cast<ArrayRef>(&B);
+    if (X->Name != Y->Name || X->Indices.size() != Y->Indices.size())
+      return false;
+    for (size_t I = 0; I < X->Indices.size(); ++I)
+      if (!exprEquals(*X->Indices[I], *Y->Indices[I]))
+        return false;
+    return true;
+  }
+  case ExprKind::Binary: {
+    const auto *X = cast<BinaryExpr>(&A);
+    const auto *Y = cast<BinaryExpr>(&B);
+    return X->Op == Y->Op && exprEquals(*X->Lhs, *Y->Lhs) &&
+           exprEquals(*X->Rhs, *Y->Rhs);
+  }
+  case ExprKind::Unary: {
+    const auto *X = cast<UnaryExpr>(&A);
+    const auto *Y = cast<UnaryExpr>(&B);
+    return X->Op == Y->Op && exprEquals(*X->Operand, *Y->Operand);
+  }
+  case ExprKind::Call: {
+    const auto *X = cast<CallExpr>(&A);
+    const auto *Y = cast<CallExpr>(&B);
+    if (X->Callee != Y->Callee || X->Args.size() != Y->Args.size())
+      return false;
+    for (size_t I = 0; I < X->Args.size(); ++I)
+      if (!exprEquals(*X->Args[I], *Y->Args[I]))
+        return false;
+    return true;
+  }
+  }
+  return false;
+}
+
+void collectVars(const Expr &E, std::set<std::string> &Out) {
+  switch (E.kind()) {
+  case ExprKind::VarRef:
+    Out.insert(cast<VarRef>(&E)->Name);
+    return;
+  case ExprKind::IntLit:
+  case ExprKind::FloatLit:
+    return;
+  case ExprKind::ArrayRef:
+    for (const auto &I : cast<ArrayRef>(&E)->Indices)
+      collectVars(*I, Out);
+    return;
+  case ExprKind::Binary:
+    collectVars(*cast<BinaryExpr>(&E)->Lhs, Out);
+    collectVars(*cast<BinaryExpr>(&E)->Rhs, Out);
+    return;
+  case ExprKind::Unary:
+    collectVars(*cast<UnaryExpr>(&E)->Operand, Out);
+    return;
+  case ExprKind::Call:
+    for (const auto &A : cast<CallExpr>(&E)->Args)
+      collectVars(*A, Out);
+    return;
+  }
+}
+
+void collectArrays(const Expr &E, std::set<std::string> &Out) {
+  switch (E.kind()) {
+  case ExprKind::ArrayRef: {
+    const auto *A = cast<ArrayRef>(&E);
+    Out.insert(A->Name);
+    for (const auto &I : A->Indices)
+      collectArrays(*I, Out);
+    return;
+  }
+  case ExprKind::Binary:
+    collectArrays(*cast<BinaryExpr>(&E)->Lhs, Out);
+    collectArrays(*cast<BinaryExpr>(&E)->Rhs, Out);
+    return;
+  case ExprKind::Unary:
+    collectArrays(*cast<UnaryExpr>(&E)->Operand, Out);
+    return;
+  case ExprKind::Call:
+    for (const auto &A : cast<CallExpr>(&E)->Args)
+      collectArrays(*A, Out);
+    return;
+  default:
+    return;
+  }
+}
+
+bool referencesVar(const Expr &E, const std::string &Name) {
+  std::set<std::string> Vars;
+  collectVars(E, Vars);
+  return Vars.count(Name) != 0;
+}
+
+bool stmtReferencesVar(const Stmt &S, const std::string &Name) {
+  bool Found = false;
+  forEachStmt(const_cast<Stmt &>(S), [&](Stmt &Sub) {
+    if (Found)
+      return;
+    forEachExpr(Sub, [&](ExprPtr &E) {
+      if (!Found && referencesVar(*E, Name))
+        Found = true;
+    });
+    if (auto *For = dyn_cast<ForStmt>(&Sub))
+      if (For->Var == Name)
+        Found = true;
+  });
+  return Found;
+}
+
+std::optional<int64_t> evalConstInt(const Expr &E) {
+  switch (E.kind()) {
+  case ExprKind::IntLit:
+    return cast<IntLit>(&E)->Value;
+  case ExprKind::Unary: {
+    const auto *U = cast<UnaryExpr>(&E);
+    std::optional<int64_t> V = evalConstInt(*U->Operand);
+    if (!V)
+      return std::nullopt;
+    return U->Op == UnOp::Neg ? -*V : static_cast<int64_t>(*V == 0);
+  }
+  case ExprKind::Binary: {
+    const auto *B = cast<BinaryExpr>(&E);
+    std::optional<int64_t> L = evalConstInt(*B->Lhs);
+    std::optional<int64_t> R = evalConstInt(*B->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    switch (B->Op) {
+    case BinOp::Add:
+      return *L + *R;
+    case BinOp::Sub:
+      return *L - *R;
+    case BinOp::Mul:
+      return *L * *R;
+    case BinOp::Div:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L / *R);
+    case BinOp::Mod:
+      return *R == 0 ? std::nullopt : std::optional<int64_t>(*L % *R);
+    case BinOp::Lt:
+      return static_cast<int64_t>(*L < *R);
+    case BinOp::Le:
+      return static_cast<int64_t>(*L <= *R);
+    case BinOp::Gt:
+      return static_cast<int64_t>(*L > *R);
+    case BinOp::Ge:
+      return static_cast<int64_t>(*L >= *R);
+    case BinOp::Eq:
+      return static_cast<int64_t>(*L == *R);
+    case BinOp::Ne:
+      return static_cast<int64_t>(*L != *R);
+    case BinOp::And:
+      return static_cast<int64_t>(*L != 0 && *R != 0);
+    case BinOp::Or:
+      return static_cast<int64_t>(*L != 0 || *R != 0);
+    }
+    return std::nullopt;
+  }
+  case ExprKind::Call: {
+    const auto *C = cast<CallExpr>(&E);
+    if ((C->Callee == "min" || C->Callee == "max") && C->Args.size() == 2) {
+      std::optional<int64_t> A = evalConstInt(*C->Args[0]);
+      std::optional<int64_t> B = evalConstInt(*C->Args[1]);
+      if (A && B)
+        return C->Callee == "min" ? std::min(*A, *B) : std::max(*A, *B);
+    }
+    return std::nullopt;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+ExprPtr foldExpr(ExprPtr E) {
+  switch (E->kind()) {
+  case ExprKind::Binary: {
+    auto *B = cast<BinaryExpr>(E.get());
+    B->Lhs = foldExpr(std::move(B->Lhs));
+    B->Rhs = foldExpr(std::move(B->Rhs));
+    if (std::optional<int64_t> V = evalConstInt(*E))
+      return makeInt(*V);
+    std::optional<int64_t> L = evalConstInt(*B->Lhs);
+    std::optional<int64_t> R = evalConstInt(*B->Rhs);
+    // x + 0, x - 0
+    if ((B->Op == BinOp::Add || B->Op == BinOp::Sub) && R && *R == 0)
+      return std::move(B->Lhs);
+    // 0 + x
+    if (B->Op == BinOp::Add && L && *L == 0)
+      return std::move(B->Rhs);
+    // x * 1, x / 1
+    if ((B->Op == BinOp::Mul || B->Op == BinOp::Div) && R && *R == 1)
+      return std::move(B->Lhs);
+    // 1 * x
+    if (B->Op == BinOp::Mul && L && *L == 1)
+      return std::move(B->Rhs);
+    // 0 * x, x * 0
+    if (B->Op == BinOp::Mul && ((L && *L == 0) || (R && *R == 0)))
+      return makeInt(0);
+    return E;
+  }
+  case ExprKind::Unary: {
+    auto *U = cast<UnaryExpr>(E.get());
+    U->Operand = foldExpr(std::move(U->Operand));
+    if (std::optional<int64_t> V = evalConstInt(*E))
+      return makeInt(*V);
+    return E;
+  }
+  case ExprKind::Call: {
+    auto *C = cast<CallExpr>(E.get());
+    for (auto &A : C->Args)
+      A = foldExpr(std::move(A));
+    if ((C->Callee == "min" || C->Callee == "max") && C->Args.size() == 2) {
+      if (std::optional<int64_t> V = evalConstInt(*E))
+        return makeInt(*V);
+      // min(x, x) == x
+      if (exprEquals(*C->Args[0], *C->Args[1]))
+        return std::move(C->Args[0]);
+    }
+    return E;
+  }
+  case ExprKind::ArrayRef: {
+    auto *A = cast<ArrayRef>(E.get());
+    for (auto &I : A->Indices)
+      I = foldExpr(std::move(I));
+    return E;
+  }
+  default:
+    return E;
+  }
+}
+
+void forEachExpr(Stmt &S, const std::function<void(ExprPtr &)> &Fn) {
+  switch (S.kind()) {
+  case StmtKind::Block:
+    for (auto &Sub : cast<Block>(&S)->Stmts)
+      forEachExpr(*Sub, Fn);
+    return;
+  case StmtKind::For: {
+    auto *F = cast<ForStmt>(&S);
+    Fn(F->Init);
+    Fn(F->Bound);
+    forEachExpr(*F->Body, Fn);
+    return;
+  }
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(&S);
+    Fn(I->Cond);
+    forEachExpr(*I->Then, Fn);
+    if (I->Else)
+      forEachExpr(*I->Else, Fn);
+    return;
+  }
+  case StmtKind::Assign: {
+    auto *A = cast<AssignStmt>(&S);
+    Fn(A->Lhs);
+    Fn(A->Rhs);
+    return;
+  }
+  case StmtKind::Decl: {
+    auto *D = cast<DeclStmt>(&S);
+    if (D->Init)
+      Fn(D->Init);
+    return;
+  }
+  case StmtKind::CallStmt:
+    Fn(cast<CallStmt>(&S)->Call);
+    return;
+  }
+}
+
+void forEachStmt(Stmt &S, const std::function<void(Stmt &)> &Fn) {
+  Fn(S);
+  switch (S.kind()) {
+  case StmtKind::Block:
+    for (auto &Sub : cast<Block>(&S)->Stmts)
+      forEachStmt(*Sub, Fn);
+    return;
+  case StmtKind::For:
+    forEachStmt(*cast<ForStmt>(&S)->Body, Fn);
+    return;
+  case StmtKind::If: {
+    auto *I = cast<IfStmt>(&S);
+    forEachStmt(*I->Then, Fn);
+    if (I->Else)
+      forEachStmt(*I->Else, Fn);
+    return;
+  }
+  default:
+    return;
+  }
+}
+
+uint64_t hashRegion(const Block &Region) {
+  PrintOptions Opts;
+  Opts.EmitRegionPragmas = false;
+  return fnv1a(printStmt(Region, Opts));
+}
+
+} // namespace cir
+} // namespace locus

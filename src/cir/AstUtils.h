@@ -1,0 +1,82 @@
+//===- AstUtils.h - MiniC AST manipulation helpers -------------*- C++ -*-===//
+///
+/// \file
+/// Shared AST utilities: perfect-nest discovery, variable substitution,
+/// structural equality, constant folding of index/bound expressions, and
+/// code-region hashing (used for the source-coherence check of Section II).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_CIR_ASTUTILS_H
+#define LOCUS_CIR_ASTUTILS_H
+
+#include "src/cir/Ast.h"
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace cir {
+
+/// Returns the chain of perfectly nested loops rooted at \p Root: Root, then
+/// its only-statement child loop, and so on. Always contains at least Root.
+std::vector<ForStmt *> perfectNest(ForStmt &Root);
+
+/// Returns the full nesting depth of the loop nest rooted at \p Root: the
+/// longest chain of loops reachable by descending through bodies (not
+/// necessarily perfectly nested).
+int loopNestDepth(const ForStmt &Root);
+
+/// Returns true when the nest rooted at \p Root is perfectly nested: every
+/// body down to the innermost loop contains exactly one statement, a loop.
+bool isPerfectNest(const ForStmt &Root);
+
+/// Replaces every VarRef to \p Name inside \p E with a clone of \p
+/// Replacement, returning the (possibly new) expression.
+ExprPtr substituteVar(ExprPtr E, const std::string &Name,
+                      const Expr &Replacement);
+
+/// Replaces VarRefs in all expressions of the statement subtree.
+void substituteVarInStmt(Stmt &S, const std::string &Name,
+                         const Expr &Replacement);
+
+/// Structural expression equality.
+bool exprEquals(const Expr &A, const Expr &B);
+
+/// Collects the names of all scalar variables referenced in \p E.
+void collectVars(const Expr &E, std::set<std::string> &Out);
+
+/// Collects names of arrays referenced in \p E.
+void collectArrays(const Expr &E, std::set<std::string> &Out);
+
+/// Returns true if expression \p E references variable \p Name.
+bool referencesVar(const Expr &E, const std::string &Name);
+
+/// Returns true if any expression in the statement subtree references \p Name.
+bool stmtReferencesVar(const Stmt &S, const std::string &Name);
+
+/// Evaluates \p E when it is a compile-time integer constant.
+std::optional<int64_t> evalConstInt(const Expr &E);
+
+/// Folds constant subexpressions and algebraic identities (x+0, x*1, 1*x,
+/// min/max of constants). Transformation-generated bounds go through this so
+/// emitted code stays readable.
+ExprPtr foldExpr(ExprPtr E);
+
+/// Visits every expression in a statement subtree (mutable access).
+void forEachExpr(Stmt &S, const std::function<void(ExprPtr &)> &Fn);
+
+/// Visits every statement in the subtree, preorder.
+void forEachStmt(Stmt &S, const std::function<void(Stmt &)> &Fn);
+
+/// Stable hash of a code region's unparsed text; Section II uses this key to
+/// warn when the source drifted under a saved optimization program.
+uint64_t hashRegion(const Block &Region);
+
+} // namespace cir
+} // namespace locus
+
+#endif // LOCUS_CIR_ASTUTILS_H

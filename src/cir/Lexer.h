@@ -1,0 +1,80 @@
+//===- Lexer.h - MiniC lexer -----------------------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the MiniC subset. Pragma lines are captured as single
+/// tokens (their text matters to the region front end), and a tiny
+/// "#define NAME <int>" preprocessor is supported because the kernel sources
+/// in the paper (Polybench style) size arrays with macros.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_CIR_LEXER_H
+#define LOCUS_CIR_LEXER_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace cir {
+
+enum class TokKind {
+  Eof,
+  Ident,
+  IntLit,
+  FloatLit,
+  StrLit,
+  Punct,  ///< one of ( ) [ ] { } ; , plus operators, stored in Text
+  Pragma, ///< a whole "#pragma ..." line, Text holds everything after #pragma
+};
+
+/// A single token with its source line (1-based) for diagnostics.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  int Line = 0;
+
+  bool is(TokKind K) const { return Kind == K; }
+  bool isPunct(const char *P) const {
+    return Kind == TokKind::Punct && Text == P;
+  }
+  bool isIdent(const char *Name) const {
+    return Kind == TokKind::Ident && Text == Name;
+  }
+};
+
+/// Tokenizes MiniC source. Reports errors by emitting an Eof token and
+/// setting an error message retrievable via error().
+class Lexer {
+public:
+  explicit Lexer(std::string Source);
+
+  /// Lexes the whole input; returns all tokens ending with Eof.
+  std::vector<Token> lexAll();
+
+  const std::string &error() const { return ErrorMessage; }
+  bool hadError() const { return !ErrorMessage.empty(); }
+
+  /// Macro table accumulated from #define lines (name -> integer value).
+  const std::map<std::string, int64_t> &defines() const { return Defines; }
+
+private:
+  Token lexToken();
+  void skipTrivia();
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+
+  std::string Source;
+  size_t Pos = 0;
+  int Line = 1;
+  std::string ErrorMessage;
+  std::map<std::string, int64_t> Defines;
+};
+
+} // namespace cir
+} // namespace locus
+
+#endif // LOCUS_CIR_LEXER_H

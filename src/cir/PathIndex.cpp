@@ -1,0 +1,204 @@
+//===- PathIndex.cpp - Hierarchical statement indexing --------------------===//
+
+#include "src/cir/PathIndex.h"
+
+#include "src/support/StringUtils.h"
+
+#include <cstdlib>
+
+namespace locus {
+namespace cir {
+
+Expected<std::vector<int>> parsePath(const std::string &Path) {
+  if (Path.empty())
+    return Expected<std::vector<int>>::error("empty hierarchical path");
+  std::vector<int> Components;
+  for (const std::string &Part : splitString(Path, '.')) {
+    if (Part.empty())
+      return Expected<std::vector<int>>::error("malformed path: " + Path);
+    for (char C : Part)
+      if (!std::isdigit(static_cast<unsigned char>(C)))
+        return Expected<std::vector<int>>::error("malformed path: " + Path);
+    Components.push_back(std::atoi(Part.c_str()));
+  }
+  return Components;
+}
+
+Expected<StmtLocation> resolvePath(Block &Region, const std::string &Path) {
+  Expected<std::vector<int>> Components = parsePath(Path);
+  if (!Components.ok())
+    return Expected<StmtLocation>::error(Components.message());
+
+  Block *Current = &Region;
+  for (size_t Level = 0; Level < Components->size(); ++Level) {
+    int Index = (*Components)[Level];
+    if (Index < 0 || static_cast<size_t>(Index) >= Current->Stmts.size())
+      return Expected<StmtLocation>::error(
+          "path " + Path + " is out of range at level " +
+          std::to_string(Level));
+    Stmt *S = Current->Stmts[static_cast<size_t>(Index)].get();
+    if (Level + 1 == Components->size())
+      return StmtLocation{Current, static_cast<size_t>(Index)};
+    if (auto *For = dyn_cast<ForStmt>(S)) {
+      Current = For->Body.get();
+    } else if (auto *B = dyn_cast<Block>(S)) {
+      Current = B;
+    } else {
+      return Expected<StmtLocation>::error(
+          "path " + Path + " descends through a non-compound statement");
+    }
+  }
+  return Expected<StmtLocation>::error("unreachable: empty path");
+}
+
+Expected<ForStmt *> resolveLoopPath(Block &Region, const std::string &Path) {
+  Expected<StmtLocation> Loc = resolvePath(Region, Path);
+  if (!Loc.ok())
+    return Expected<ForStmt *>::error(Loc.message());
+  auto *For = dyn_cast<ForStmt>(Loc->get());
+  if (!For)
+    return Expected<ForStmt *>::error("path " + Path +
+                                      " does not address a loop");
+  return For;
+}
+
+namespace {
+
+/// Collects the loops directly at this block level, looking through nested
+/// plain (non-region) blocks but not into loop bodies.
+void levelLoops(Block &B, std::vector<ForStmt *> &Out) {
+  for (auto &S : B.Stmts) {
+    if (auto *For = dyn_cast<ForStmt>(S.get()))
+      Out.push_back(For);
+    else if (auto *Sub = dyn_cast<Block>(S.get()))
+      levelLoops(*Sub, Out);
+  }
+}
+
+} // namespace
+
+Expected<ForStmt *> resolveLoopPathLoopwise(Block &Region,
+                                            const std::string &Path) {
+  // Exact statement paths win when they address a loop.
+  if (Expected<ForStmt *> Strict = resolveLoopPath(Region, Path); Strict.ok())
+    return Strict;
+
+  Expected<std::vector<int>> Components = parsePath(Path);
+  if (!Components.ok())
+    return Expected<ForStmt *>::error(Components.message());
+  Block *Current = &Region;
+  ForStmt *Loop = nullptr;
+  for (int Index : *Components) {
+    std::vector<ForStmt *> Loops;
+    levelLoops(*Current, Loops);
+    if (Index < 0 || static_cast<size_t>(Index) >= Loops.size())
+      return Expected<ForStmt *>::error(
+          "loop path " + Path + " is out of range (level has " +
+          std::to_string(Loops.size()) + " loops)");
+    Loop = Loops[static_cast<size_t>(Index)];
+    Current = Loop->Body.get();
+  }
+  return Loop;
+}
+
+namespace {
+
+void walkLoops(Block &B, const std::string &Prefix,
+               std::vector<LoopEntry> &Out) {
+  for (size_t I = 0; I < B.Stmts.size(); ++I) {
+    std::string Path = Prefix.empty() ? std::to_string(I)
+                                      : Prefix + "." + std::to_string(I);
+    Stmt *S = B.Stmts[I].get();
+    if (auto *For = dyn_cast<ForStmt>(S)) {
+      Out.push_back(LoopEntry{Path, For});
+      walkLoops(*For->Body, Path, Out);
+    } else if (auto *Sub = dyn_cast<Block>(S)) {
+      walkLoops(*Sub, Path, Out);
+    } else if (auto *If = dyn_cast<IfStmt>(S)) {
+      // If bodies are not addressable through numeric paths in this scheme,
+      // but loops inside them still count for inner/outer queries. They get
+      // the if statement's path as an approximation.
+      walkLoops(*If->Then, Path, Out);
+      if (If->Else)
+        walkLoops(*If->Else, Path, Out);
+    }
+  }
+}
+
+bool containsLoop(const Block &B) {
+  for (const auto &S : B.Stmts) {
+    if (isa<ForStmt>(S.get()))
+      return true;
+    if (const auto *Sub = dyn_cast<Block>(S.get()))
+      if (containsLoop(*Sub))
+        return true;
+    if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      if (containsLoop(*If->Then))
+        return true;
+      if (If->Else && containsLoop(*If->Else))
+        return true;
+    }
+  }
+  return false;
+}
+
+} // namespace
+
+std::vector<LoopEntry> listLoops(Block &Region) {
+  std::vector<LoopEntry> Out;
+  walkLoops(Region, "", Out);
+  return Out;
+}
+
+std::vector<LoopEntry> listInnerLoops(Block &Region) {
+  std::vector<LoopEntry> All = listLoops(Region);
+  std::vector<LoopEntry> Inner;
+  for (const LoopEntry &E : All)
+    if (!containsLoop(*E.Loop->Body))
+      Inner.push_back(E);
+  return Inner;
+}
+
+std::vector<LoopEntry> listOuterLoops(Block &Region) {
+  std::vector<LoopEntry> All = listLoops(Region);
+  std::vector<LoopEntry> Outer;
+  for (const LoopEntry &E : All) {
+    // An outer loop's path has no other loop's path as a proper prefix.
+    bool Nested = false;
+    for (const LoopEntry &Other : All) {
+      if (&Other == &E)
+        continue;
+      if (E.Path.size() > Other.Path.size() &&
+          startsWith(E.Path, Other.Path + "."))
+        Nested = true;
+    }
+    if (!Nested)
+      Outer.push_back(E);
+  }
+  return Outer;
+}
+
+std::optional<StmtLocation> locateStmt(Block &Root, const Stmt *Target) {
+  for (size_t I = 0; I < Root.Stmts.size(); ++I) {
+    Stmt *S = Root.Stmts[I].get();
+    if (S == Target)
+      return StmtLocation{&Root, I};
+    if (auto *For = dyn_cast<ForStmt>(S)) {
+      if (auto Found = locateStmt(*For->Body, Target))
+        return Found;
+    } else if (auto *B = dyn_cast<Block>(S)) {
+      if (auto Found = locateStmt(*B, Target))
+        return Found;
+    } else if (auto *If = dyn_cast<IfStmt>(S)) {
+      if (auto Found = locateStmt(*If->Then, Target))
+        return Found;
+      if (If->Else)
+        if (auto Found = locateStmt(*If->Else, Target))
+          return Found;
+    }
+  }
+  return std::nullopt;
+}
+
+} // namespace cir
+} // namespace locus

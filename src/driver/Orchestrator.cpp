@@ -1,0 +1,274 @@
+//===- Orchestrator.cpp - The Locus system driver ------------------------------===//
+
+#include "src/driver/Orchestrator.h"
+
+#include "src/locus/Optimizer.h"
+
+#include "src/cir/AstUtils.h"
+#include "src/support/StringUtils.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace locus {
+namespace driver {
+
+Orchestrator::Orchestrator(const lang::LocusProgram &LProg,
+                           const cir::Program &Baseline,
+                           OrchestratorOptions Opts)
+    : LProg(LProg), Baseline(Baseline), Opts(std::move(Opts)),
+      Registry(lang::ModuleRegistry::standard()) {}
+
+Expected<eval::RunResult> Orchestrator::evaluate(const cir::Program &P) {
+  eval::ProgramEvaluator Eval(P, Opts.Eval);
+  Status S = Eval.prepare();
+  if (!S.ok())
+    return Expected<eval::RunResult>::error(S.message());
+  if (Opts.InitHook)
+    Opts.InitHook(Eval);
+  eval::RunResult R = Eval.run();
+  if (!R.Ok)
+    return Expected<eval::RunResult>::error(R.Error);
+  return R;
+}
+
+Expected<eval::RunResult> Orchestrator::evaluateBaseline() {
+  return evaluate(Baseline);
+}
+
+const lang::LocusProgram &Orchestrator::program() {
+  if (!Opts.OptimizeProgram)
+    return LProg;
+  if (!OptimizedProg) {
+    std::unique_ptr<cir::Program> Clone = Baseline.clone();
+    transform::TransformContext TCtx;
+    TCtx.RequireDeps = Opts.RequireDeps;
+    TCtx.Prog = Clone.get();
+    TCtx.Snippets = Opts.Snippets;
+    OptimizedProg =
+        lang::optimizeLocusProgram(LProg, *Clone, Registry, TCtx, &OptStats);
+  }
+  return *OptimizedProg;
+}
+
+std::map<std::string, uint64_t> Orchestrator::regionHashes() const {
+  std::map<std::string, uint64_t> Hashes;
+  auto &Mutable = const_cast<cir::Program &>(Baseline);
+  for (const std::string &Name : Baseline.regionNames())
+    for (cir::Block *Region : Mutable.findRegions(Name))
+      Hashes[Name] = cir::hashRegion(*Region);
+  return Hashes;
+}
+
+Expected<DirectResult> Orchestrator::runDirect() {
+  return runPoint(search::Point{});
+}
+
+Expected<DirectResult> Orchestrator::runPoint(const search::Point &Point) {
+  DirectResult Result;
+  Result.Variant = Baseline.clone();
+  transform::TransformContext TCtx;
+  TCtx.RequireDeps = Opts.RequireDeps;
+  TCtx.Prog = Result.Variant.get();
+  TCtx.Snippets = Opts.Snippets;
+
+  lang::LocusInterpreter Interp(program(), Registry);
+  Result.Exec = Interp.applyPoint(*Result.Variant, Point, TCtx);
+  if (!Result.Exec.Ok)
+    return Expected<DirectResult>::error(Result.Exec.Error);
+  if (Result.Exec.InvalidPoint)
+    return Expected<DirectResult>::error("invalid variant: " +
+                                         Result.Exec.InvalidReason);
+  Expected<eval::RunResult> Run = evaluate(*Result.Variant);
+  if (!Run.ok())
+    return Expected<DirectResult>::error(Run.message());
+  Result.Run = *Run;
+  return Result;
+}
+
+namespace {
+
+/// The Objective plugged into the search module: materialize the variant for
+/// a point and measure it on the machine model.
+class VariantObjective : public search::Objective {
+public:
+  VariantObjective(const lang::LocusProgram &LProg,
+                   const lang::ModuleRegistry &Registry,
+                   const cir::Program &Baseline,
+                   const OrchestratorOptions &Opts, double BaselineChecksum)
+      : LProg(LProg), Registry(Registry), Baseline(Baseline), Opts(Opts),
+        BaselineChecksum(BaselineChecksum) {}
+
+  double evaluate(const search::Point &P, bool &Valid) override {
+    Valid = false;
+    std::unique_ptr<cir::Program> Variant = Baseline.clone();
+    transform::TransformContext TCtx;
+    TCtx.RequireDeps = Opts.RequireDeps;
+    TCtx.Prog = Variant.get();
+    TCtx.Snippets = Opts.Snippets;
+    lang::LocusInterpreter Interp(LProg, Registry);
+    lang::ExecOutcome Exec = Interp.applyPoint(*Variant, P, TCtx);
+    if (!Exec.Ok || Exec.InvalidPoint)
+      return 0;
+
+    eval::ProgramEvaluator Eval(*Variant, Opts.Eval);
+    if (!Eval.prepare().ok())
+      return 0;
+    if (Opts.InitHook)
+      Opts.InitHook(Eval);
+    eval::RunResult Run = Eval.run();
+    if (!Run.Ok)
+      return 0;
+    // A variant that computes different results is an illegal rewrite the
+    // legality machinery missed (or a forced transformation); reject it so
+    // the search cannot exploit broken code. Skipped when the baseline is a
+    // non-executable skeleton (NaN reference).
+    if (!std::isnan(BaselineChecksum)) {
+      double Tol = 1e-6 * std::max(1.0, std::abs(BaselineChecksum));
+      if (std::abs(Run.Checksum - BaselineChecksum) > Tol)
+        return 0;
+    }
+    Valid = true;
+    return Run.Cycles;
+  }
+
+private:
+  const lang::LocusProgram &LProg;
+  const lang::ModuleRegistry &Registry;
+  const cir::Program &Baseline;
+  const OrchestratorOptions &Opts;
+  double BaselineChecksum;
+};
+
+} // namespace
+
+Expected<SearchWorkflowResult> Orchestrator::runSearch() {
+  SearchWorkflowResult Result;
+
+  // Convert the optimization space (Section IV-B).
+  std::unique_ptr<cir::Program> ExtractTarget = Baseline.clone();
+  transform::TransformContext TCtx;
+  TCtx.RequireDeps = Opts.RequireDeps;
+  TCtx.Prog = ExtractTarget.get();
+  TCtx.Snippets = Opts.Snippets;
+  lang::LocusInterpreter Interp(program(), Registry);
+  lang::ExecOutcome Extract =
+      Interp.extractSpace(*ExtractTarget, Result.Space, TCtx);
+  if (!Extract.Ok)
+    return Expected<SearchWorkflowResult>::error("space extraction failed: " +
+                                                 Extract.Error);
+
+  // Baseline metric (also the non-prescriptive fallback). Some baselines
+  // are skeletons that only become executable once the optimization program
+  // fills them in (the Kripke kernels with their address_calc placeholder);
+  // those get an infinite baseline metric and no checksum reference.
+  Expected<eval::RunResult> BaseRun = evaluateBaseline();
+  bool BaselineRunnable = BaseRun.ok();
+  double BaselineChecksum = std::numeric_limits<double>::quiet_NaN();
+  if (BaselineRunnable) {
+    Result.BaselineCycles = BaseRun->Cycles;
+    BaselineChecksum = BaseRun->Checksum;
+  } else {
+    Result.BaselineCycles = std::numeric_limits<double>::infinity();
+  }
+
+  // Drive the search module.
+  std::unique_ptr<search::Searcher> Searcher =
+      search::makeSearcher(Opts.SearcherName);
+  if (!Searcher)
+    return Expected<SearchWorkflowResult>::error("unknown search module: " +
+                                                 Opts.SearcherName);
+  VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum);
+  search::SearchOptions SOpts;
+  SOpts.MaxEvaluations = Opts.MaxEvaluations;
+  SOpts.Seed = Opts.Seed;
+  Result.Search = Searcher->search(Result.Space, Obj, SOpts);
+
+  // Non-prescriptive selection (Section II): keep the baseline when no
+  // variant improves on it.
+  if (!Result.Search.Found ||
+      Result.Search.BestMetric >= Result.BaselineCycles) {
+    if (!BaselineRunnable)
+      return Expected<SearchWorkflowResult>::error(
+          "no valid variant found and the baseline is not executable");
+    Result.BaselineChosen = true;
+    Result.BestProgram = Baseline.clone();
+    Result.BestCycles = Result.BaselineCycles;
+    Result.BestRun = *BaseRun;
+    Result.Speedup = 1.0;
+    return Result;
+  }
+
+  Expected<DirectResult> Best = runPoint(Result.Search.Best);
+  if (!Best.ok())
+    return Expected<SearchWorkflowResult>::error(
+        "re-materializing the best variant failed: " + Best.message());
+  Result.BestProgram = std::move(Best->Variant);
+  Result.BestRun = Best->Run;
+  Result.BestCycles = Best->Run.Cycles;
+  Result.Speedup = Result.BaselineCycles / Result.BestCycles;
+  return Result;
+}
+
+std::string serializePoint(const search::Point &P) {
+  std::ostringstream Out;
+  for (const auto &[Id, V] : P.Values) {
+    Out << Id << " = ";
+    if (const auto *I = std::get_if<int64_t>(&V))
+      Out << "i:" << *I;
+    else if (const auto *D = std::get_if<double>(&V))
+      Out << "f:" << *D;
+    else if (const auto *S = std::get_if<std::string>(&V))
+      Out << "s:" << *S;
+    else if (const auto *Perm = std::get_if<std::vector<int>>(&V)) {
+      Out << "p:";
+      for (size_t I = 0; I < Perm->size(); ++I)
+        Out << (I ? "," : "") << (*Perm)[I];
+    }
+    Out << "\n";
+  }
+  return Out.str();
+}
+
+Expected<search::Point> deserializePoint(const std::string &Text,
+                                         const search::Space &Space) {
+  search::Point P;
+  for (const std::string &Line : splitString(Text, '\n')) {
+    std::string_view Trimmed = trimString(Line);
+    if (Trimmed.empty())
+      continue;
+    size_t Eq = Trimmed.find(" = ");
+    if (Eq == std::string_view::npos)
+      return Expected<search::Point>::error("malformed point line: " + Line);
+    std::string Id(Trimmed.substr(0, Eq));
+    std::string_view Rest = Trimmed.substr(Eq + 3);
+    if (Rest.size() < 2 || Rest[1] != ':')
+      return Expected<search::Point>::error("malformed point value: " + Line);
+    char Tag = Rest[0];
+    std::string Body(Rest.substr(2));
+    if (Tag == 'i')
+      P.Values[Id] = static_cast<int64_t>(std::stoll(Body));
+    else if (Tag == 'f')
+      P.Values[Id] = std::stod(Body);
+    else if (Tag == 's')
+      P.Values[Id] = Body;
+    else if (Tag == 'p') {
+      std::vector<int> Perm;
+      for (const std::string &Part : splitString(Body, ','))
+        if (!Part.empty())
+          Perm.push_back(std::atoi(Part.c_str()));
+      P.Values[Id] = std::move(Perm);
+    } else {
+      return Expected<search::Point>::error("unknown point value tag: " + Line);
+    }
+  }
+  // Sanity: every space parameter should be pinned.
+  for (const search::ParamDef &Def : Space.Params)
+    if (!P.Values.count(Def.Id))
+      return Expected<search::Point>::error("point does not pin " + Def.Id);
+  return P;
+}
+
+} // namespace driver
+} // namespace locus

@@ -1,0 +1,128 @@
+//===- Orchestrator.h - The Locus system driver ------------------*- C++ -*-===//
+///
+/// \file
+/// Ties the whole system together, implementing the two workflows of Fig. 2:
+///
+///  direct:  Locus program (no search constructs) -> transformed variant
+///  search:  extract space -> search module proposes points -> each point is
+///           materialized as a variant, evaluated on the machine model, the
+///           metric steers the search -> best variant (or the baseline, the
+///           system being non-prescriptive) plus a reusable pinned point
+///           (the exported "direct program" of Section II).
+///
+/// The driver also performs the region-hash coherence check of Section II.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_DRIVER_ORCHESTRATOR_H
+#define LOCUS_DRIVER_ORCHESTRATOR_H
+
+#include "src/cir/Ast.h"
+#include "src/eval/Evaluator.h"
+#include "src/locus/Interpreter.h"
+#include "src/locus/LocusAst.h"
+#include "src/locus/Optimizer.h"
+#include "src/search/Search.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+namespace locus {
+namespace driver {
+
+struct OrchestratorOptions {
+  /// Search module to use ("bandit"/"opentuner", "tpe"/"hyperopt",
+  /// "random", "hillclimb", "de", "exhaustive").
+  std::string SearcherName = "bandit";
+  /// Variant-assessment budget (the paper caps DGEMM at 1,000 and each
+  /// extracted loop nest at 500).
+  int MaxEvaluations = 100;
+  uint64_t Seed = 42;
+  /// Machine model and evaluation options.
+  eval::EvalOptions Eval;
+  /// Refuse transformations when dependences are unavailable.
+  bool RequireDeps = false;
+  /// Apply the Section IV-C Locus-program optimizations (query
+  /// pre-execution, constant folding, dead-branch elimination) before
+  /// interpretation. The direct program is re-interpreted per assessed
+  /// variant, so this pays off across the whole search.
+  bool OptimizeProgram = true;
+  /// Named snippets for BuiltIn.Altdesc.
+  std::map<std::string, std::string> Snippets;
+  /// Hook to initialize evaluator inputs (index arrays, scalars) before
+  /// each run; may be empty.
+  std::function<void(eval::ProgramEvaluator &)> InitHook;
+};
+
+/// Result of the direct workflow.
+struct DirectResult {
+  std::unique_ptr<cir::Program> Variant;
+  eval::RunResult Run;
+  lang::ExecOutcome Exec;
+};
+
+/// Result of the search workflow.
+struct SearchWorkflowResult {
+  search::Space Space;
+  search::SearchResult Search;
+  double BaselineCycles = 0;
+  double BestCycles = 0;
+  /// BaselineCycles / BestCycles for the winning variant (>= 1 by the
+  /// non-prescriptive rule).
+  double Speedup = 1.0;
+  /// True when no variant beat the baseline and the baseline was kept.
+  bool BaselineChosen = false;
+  std::unique_ptr<cir::Program> BestProgram;
+  eval::RunResult BestRun;
+};
+
+class Orchestrator {
+public:
+  Orchestrator(const lang::LocusProgram &LProg, const cir::Program &Baseline,
+               OrchestratorOptions Opts);
+
+  /// Runs the direct workflow (Fig. 2 left).
+  Expected<DirectResult> runDirect();
+
+  /// Runs the search workflow (Fig. 2 right).
+  Expected<SearchWorkflowResult> runSearch();
+
+  /// Applies one pinned point (re-running an exported direct recipe).
+  Expected<DirectResult> runPoint(const search::Point &Point);
+
+  /// Evaluates the unmodified baseline.
+  Expected<eval::RunResult> evaluateBaseline();
+
+  /// Region-name -> content-hash of the baseline (Section II coherence
+  /// keys; compare against stored hashes to detect source drift).
+  std::map<std::string, uint64_t> regionHashes() const;
+
+  /// Statistics from the Section IV-C program optimizer (populated after
+  /// the first workflow call when OptimizeProgram is on).
+  const lang::OptimizeStats &optimizeStats() const { return OptStats; }
+
+private:
+  Expected<eval::RunResult> evaluate(const cir::Program &P);
+  /// The (possibly optimized) program used for interpretation.
+  const lang::LocusProgram &program();
+
+  const lang::LocusProgram &LProg;
+  const cir::Program &Baseline;
+  OrchestratorOptions Opts;
+  lang::ModuleRegistry Registry;
+  std::unique_ptr<lang::LocusProgram> OptimizedProg;
+  lang::OptimizeStats OptStats;
+};
+
+/// Serializes a point as "id=value" lines (the shippable pinned recipe).
+std::string serializePoint(const search::Point &P);
+
+/// Parses a serialized point back.
+Expected<search::Point> deserializePoint(const std::string &Text,
+                                         const search::Space &Space);
+
+} // namespace driver
+} // namespace locus
+
+#endif // LOCUS_DRIVER_ORCHESTRATOR_H

@@ -1,0 +1,244 @@
+//===- NativeEvaluator.cpp - Compile-and-run evaluation -----------------------===//
+
+#include "src/eval/NativeEvaluator.h"
+
+#include "src/cir/AstUtils.h"
+#include "src/cir/Printer.h"
+#include "src/support/Hashing.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+namespace locus {
+namespace eval {
+
+using namespace cir;
+
+namespace {
+
+/// Splices declaration-only blocks ("int i, j, k;" parses into a block of
+/// three declarations) into their parent so the declared names stay in
+/// scope for the sibling statements when emitted as C.
+void flattenDeclGroups(Block &B) {
+  std::vector<StmtPtr> Out;
+  for (StmtPtr &S : B.Stmts) {
+    // Harness-only calls have no native equivalent.
+    if (auto *C = dyn_cast<CallStmt>(S.get())) {
+      const auto *Call = cast<CallExpr>(C->Call.get());
+      if (Call->Callee == "printf" || Call->Callee == "init_array" ||
+          Call->Callee == "print_array" || Call->Callee == "free")
+        continue;
+    }
+    if (auto *Sub = dyn_cast<Block>(S.get())) {
+      bool AllDecls = !Sub->Stmts.empty() && Sub->RegionName.empty();
+      for (const auto &Child : Sub->Stmts)
+        if (!isa<DeclStmt>(Child.get()))
+          AllDecls = false;
+      if (AllDecls) {
+        for (StmtPtr &Child : Sub->Stmts)
+          Out.push_back(std::move(Child));
+        continue;
+      }
+    }
+    forEachStmt(*S, [](Stmt &Inner) {
+      if (auto *F = dyn_cast<ForStmt>(&Inner))
+        flattenDeclGroups(*F->Body);
+      else if (auto *I = dyn_cast<IfStmt>(&Inner)) {
+        flattenDeclGroups(*I->Then);
+        if (I->Else)
+          flattenDeclGroups(*I->Else);
+      }
+    });
+    if (auto *Sub = dyn_cast<Block>(S.get()))
+      flattenDeclGroups(*Sub);
+    Out.push_back(std::move(S));
+  }
+  B.Stmts = std::move(Out);
+}
+
+} // namespace
+
+std::string emitNativeC(const Program &OrigP) {
+  std::unique_ptr<Program> Cloned = OrigP.clone();
+  flattenDeclGroups(*Cloned->Body);
+  const Program &P = *Cloned;
+  std::ostringstream Out;
+  Out << "#include <stdio.h>\n#include <stdlib.h>\n#include <time.h>\n";
+  Out << "static long long locus_min(long long a, long long b) { return a < b ? a : b; }\n";
+  Out << "static long long locus_max(long long a, long long b) { return a > b ? a : b; }\n";
+  Out << "#define min(a, b) locus_min(a, b)\n#define max(a, b) locus_max(a, b)\n\n";
+
+  // Globals, with the simulator's deterministic initialization.
+  std::ostringstream Init;
+  for (const auto &G : P.Globals) {
+    Out << "static " << (G->Elem == ElemType::Int ? "long long " : "double ")
+        << G->Name;
+    int64_t Total = 1;
+    for (int64_t D : G->Dims) {
+      Out << '[' << D << ']';
+      Total *= D;
+    }
+    Out << ";\n";
+    if (G->isArray()) {
+      const char *Elem = G->Elem == ElemType::Int ? "long long" : "double";
+      Init << "  { " << Elem << " *p = &" << G->Name;
+      for (size_t I = 0; I < G->Dims.size(); ++I)
+        Init << "[0]";
+      Init << "; for (long long i = 0; i < " << Total << "; i++) ";
+      if (G->Elem == ElemType::Double)
+        Init << "p[i] = (double)((i * 7 + 3) % 1021) / 1021.0; }\n";
+      else
+        Init << "p[i] = i % 13; }\n";
+    } else if (G->Init) {
+      Init << "  " << G->Name << " = " << printExpr(*G->Init) << ";\n";
+    } else if (G->Elem == ElemType::Double) {
+      uint64_t H = fnv1a(G->Name);
+      Init << "  " << G->Name << " = "
+           << (0.5 + static_cast<double>(H % 1000) / 1000.0) << ";\n";
+    }
+  }
+
+  // Scalars introduced by transformations (tile-loop variables) may lack
+  // declarations: collect every name used as a loop variable or assignment
+  // target that is not declared anywhere.
+  std::set<std::string> Declared;
+  for (const auto &G : P.Globals)
+    Declared.insert(G->Name);
+  forEachStmt(*P.Body, [&](Stmt &S) {
+    if (auto *D = dyn_cast<DeclStmt>(&S))
+      Declared.insert(D->Name);
+  });
+  std::set<std::string> Needed;
+  forEachStmt(*P.Body, [&](Stmt &S) {
+    if (auto *F = dyn_cast<ForStmt>(&S))
+      if (!Declared.count(F->Var))
+        Needed.insert(F->Var);
+    if (auto *A = dyn_cast<AssignStmt>(&S))
+      if (auto *V = dyn_cast<VarRef>(A->Lhs.get()))
+        if (!Declared.count(V->Name))
+          Needed.insert(V->Name);
+  });
+
+  Out << "\nstatic double locus_checksum(void) {\n  double s = 0;\n";
+  for (const auto &G : P.Globals) {
+    if (!G->isArray())
+      continue;
+    int64_t Total = 1;
+    for (int64_t D : G->Dims)
+      Total *= D;
+    const char *Elem = G->Elem == ElemType::Int ? "long long" : "double";
+    Out << "  { " << Elem << " *p = &" << G->Name;
+    for (size_t I = 0; I < G->Dims.size(); ++I)
+      Out << "[0]";
+    Out << "; for (long long i = 0; i < " << Total
+        << "; i++) s += (double)p[i]; }\n";
+  }
+  Out << "  return s;\n}\n\n";
+
+  Out << "int main(void) {\n";
+  for (const std::string &Name : Needed)
+    Out << "  long long " << Name << " = 0; (void)" << Name << ";\n";
+  Out << Init.str();
+  Out << "  struct timespec t0, t1;\n";
+  Out << "  clock_gettime(CLOCK_MONOTONIC, &t0);\n";
+
+  // The program body, minus region markers, translating ICC pragmas. The
+  // harness intrinsics (init_array etc.) become no-ops.
+  PrintOptions Opts;
+  Opts.EmitRegionPragmas = false;
+  std::string Body;
+  for (const auto &S : P.Body->Stmts)
+    Body += printStmt(*S, Opts, 1);
+  // Pragma translation for portable compilers.
+  auto ReplaceAll = [](std::string &Text, const std::string &From,
+                       const std::string &To) {
+    size_t Pos = 0;
+    while ((Pos = Text.find(From, Pos)) != std::string::npos) {
+      Text.replace(Pos, From.size(), To);
+      Pos += To.size();
+    }
+  };
+  ReplaceAll(Body, "#pragma ivdep", "#pragma GCC ivdep");
+  ReplaceAll(Body, "#pragma vector always", "/* vector always */");
+  // Harness calls the MiniC evaluator ignores.
+  for (const char *Noop : {"init_array();", "print_array();", "rtclock()"})
+    ReplaceAll(Body, Noop, Noop[0] == 'r' ? "0.0" : ";");
+  Out << Body;
+
+  Out << "  clock_gettime(CLOCK_MONOTONIC, &t1);\n";
+  Out << "  double secs = (t1.tv_sec - t0.tv_sec) + 1e-9 * (t1.tv_nsec - t0.tv_nsec);\n";
+  Out << "  printf(\"LOCUS_TIME %.9f\\nLOCUS_CHECKSUM %.9f\\n\", secs, locus_checksum());\n";
+  Out << "  return 0;\n}\n";
+  return Out.str();
+}
+
+bool nativeCompilerAvailable(const std::string &Compiler) {
+  std::string Cmd = "command -v " + Compiler + " >/dev/null 2>&1";
+  return std::system(Cmd.c_str()) == 0;
+}
+
+NativeResult evaluateNative(const Program &P, const NativeOptions &Opts) {
+  NativeResult R;
+  if (!nativeCompilerAvailable(Opts.Compiler)) {
+    R.Error = "compiler not available: " + Opts.Compiler;
+    return R;
+  }
+  std::string Source = emitNativeC(P);
+  uint64_t Tag = fnv1a(Source);
+  std::string Base = Opts.WorkDir + "/locus_native_" + std::to_string(Tag);
+  std::string CFile = Base + ".c";
+  std::string Bin = Base + ".bin";
+  std::string Log = Base + ".out";
+  {
+    FILE *F = std::fopen(CFile.c_str(), "w");
+    if (!F) {
+      R.Error = "cannot write " + CFile;
+      return R;
+    }
+    std::fputs(Source.c_str(), F);
+    std::fclose(F);
+  }
+  std::string Build = Opts.Compiler;
+  for (const std::string &Flag : Opts.Flags)
+    Build += " " + Flag;
+  Build += " -o " + Bin + " " + CFile + " 2> " + Log;
+  if (std::system(Build.c_str()) != 0) {
+    R.Error = "build failed: " + Build;
+    return R;
+  }
+
+  double BestSecs = 0;
+  for (int Rep = 0; Rep < std::max(1, Opts.Repeats); ++Rep) {
+    std::string Run = Bin + " > " + Log + " 2>&1";
+    if (std::system(Run.c_str()) != 0) {
+      R.Error = "run failed";
+      return R;
+    }
+    FILE *F = std::fopen(Log.c_str(), "r");
+    if (!F) {
+      R.Error = "cannot read run output";
+      return R;
+    }
+    double Secs = 0, Sum = 0;
+    if (std::fscanf(F, "LOCUS_TIME %lf\nLOCUS_CHECKSUM %lf", &Secs, &Sum) != 2) {
+      std::fclose(F);
+      R.Error = "malformed run output";
+      return R;
+    }
+    std::fclose(F);
+    if (Rep == 0 || Secs < BestSecs)
+      BestSecs = Secs;
+    R.Checksum = Sum;
+  }
+  R.Ok = true;
+  R.Seconds = BestSecs;
+  std::remove(CFile.c_str());
+  std::remove(Bin.c_str());
+  std::remove(Log.c_str());
+  return R;
+}
+
+} // namespace eval
+} // namespace locus

@@ -1,0 +1,59 @@
+//===- NativeEvaluator.h - Compile-and-run evaluation -----------*- C++ -*-===//
+///
+/// \file
+/// The paper's actual evaluation loop: unparse the variant to C, build it
+/// with the system compiler (the Search block's buildcmd), run it (runcmd)
+/// and use wall-clock time as the metric. The emitted harness initializes
+/// arrays with the same deterministic patterns as the simulator, times the
+/// program body, and prints a checksum so native results can be validated
+/// against the machine-model evaluator.
+///
+/// The simulator remains the default metric (deterministic, portable); this
+/// evaluator exists for hosts with a C compiler where real measurements are
+/// wanted.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_EVAL_NATIVEEVALUATOR_H
+#define LOCUS_EVAL_NATIVEEVALUATOR_H
+
+#include "src/cir/Ast.h"
+#include "src/support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace eval {
+
+struct NativeOptions {
+  std::string Compiler = "cc";
+  std::vector<std::string> Flags = {"-O2"};
+  /// Directory for generated sources and binaries.
+  std::string WorkDir = "/tmp";
+  /// Timing repetitions; the minimum is reported.
+  int Repeats = 3;
+};
+
+struct NativeResult {
+  bool Ok = false;
+  std::string Error;
+  double Seconds = 0;
+  double Checksum = 0;
+};
+
+/// Emits a self-contained compilable C file for \p P: includes, min/max
+/// helpers, deterministically initialized globals, a timed main and a
+/// checksum print.
+std::string emitNativeC(const cir::Program &P);
+
+/// True when \p Compiler can be invoked on this host.
+bool nativeCompilerAvailable(const std::string &Compiler);
+
+/// Builds and runs \p P natively.
+NativeResult evaluateNative(const cir::Program &P,
+                            const NativeOptions &Opts = NativeOptions());
+
+} // namespace eval
+} // namespace locus
+
+#endif // LOCUS_EVAL_NATIVEEVALUATOR_H

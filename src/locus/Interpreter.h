@@ -1,0 +1,107 @@
+//===- Interpreter.h - Locus program interpreter ----------------*- C++ -*-===//
+///
+/// \file
+/// Interprets Locus optimization programs in the two workflows of Fig. 2:
+///
+///  - Extract mode implements convertOptUniverse (Section IV-B): the program
+///    is walked symbolically; every search construct (OR blocks/statements,
+///    optional statements, enum/integer/float/permutation/poweroftwo/
+///    loginteger/logfloat) registers a parameter in a search::Space. Query
+///    operations execute eagerly against the code region (Section IV-C);
+///    conditionals whose outcome is already known prune the walked branches,
+///    others contribute the constructs of every branch (conditional spaces).
+///    Numeric ranges bounded by other search variables are resolved through
+///    the registered parameter's extremes and recorded as dependent ranges.
+///
+///  - Concrete mode pins every construct to the values of a search::Point
+///    and actually applies the transformation modules to the code regions,
+///    producing one program variant. Points violating a dependent-range
+///    constraint, or driving a module into an Illegal/Error exit status,
+///    invalidate the variant (the search then moves on, as in the paper).
+///
+/// Direct programs (no search constructs) run through Concrete mode with an
+/// empty point.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_LOCUS_INTERPRETER_H
+#define LOCUS_LOCUS_INTERPRETER_H
+
+#include "src/cir/Ast.h"
+#include "src/locus/LocusAst.h"
+#include "src/locus/Modules.h"
+#include "src/search/Space.h"
+#include "src/transform/Transform.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace lang {
+
+/// The result of one interpretation run.
+struct ExecOutcome {
+  bool Ok = false;
+  std::string Error;
+
+  /// The point was structurally valid Locus but violated a dependent-range
+  /// constraint or a module reported Illegal; the variant must be skipped.
+  bool InvalidPoint = false;
+  std::string InvalidReason;
+
+  /// print output, in order.
+  std::vector<std::string> Log;
+
+  /// Count of transformation module calls that reported Success.
+  int TransformsApplied = 0;
+
+  static ExecOutcome ok() {
+    ExecOutcome O;
+    O.Ok = true;
+    return O;
+  }
+};
+
+/// Settings parsed from the Search { ... } block (buildcmd, runcmd, ...).
+struct SearchSettings {
+  std::map<std::string, Value> Values;
+
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const {
+    auto It = Values.find(Key);
+    return It != Values.end() && It->second.isString() ? It->second.asString()
+                                                       : Default;
+  }
+};
+
+/// Interprets one Locus program against one MiniC program.
+class LocusInterpreter {
+public:
+  LocusInterpreter(const LocusProgram &LProg, const ModuleRegistry &Registry);
+
+  /// Extract mode: builds the optimization space. Queries run against the
+  /// first region matching each CodeReg.
+  ExecOutcome extractSpace(cir::Program &Target, search::Space &SpaceOut,
+                           transform::TransformContext &TCtx);
+
+  /// Concrete mode: applies the program under \p Point to every matching
+  /// region of \p Target (mutating it in place).
+  ExecOutcome applyPoint(cir::Program &Target, const search::Point &Point,
+                         transform::TransformContext &TCtx);
+
+  /// Runs a direct program (no search constructs).
+  ExecOutcome applyDirect(cir::Program &Target,
+                          transform::TransformContext &TCtx);
+
+  /// Interprets the Search block's assignments.
+  Expected<SearchSettings> searchSettings() const;
+
+private:
+  const LocusProgram &LProg;
+  const ModuleRegistry &Registry;
+};
+
+} // namespace lang
+} // namespace locus
+
+#endif // LOCUS_LOCUS_INTERPRETER_H

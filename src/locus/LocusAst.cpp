@@ -1,0 +1,109 @@
+//===- LocusAst.cpp - Locus AST out-of-line pieces -----------------------------===//
+
+#include "src/locus/LocusAst.h"
+
+namespace locus {
+namespace lang {
+
+LExprPtr LExpr::clone() const {
+  auto Copy = std::make_unique<LExpr>();
+  Copy->Kind = Kind;
+  Copy->NodeId = NodeId;
+  Copy->Line = Line;
+  Copy->Literal = Literal;
+  Copy->Name = Name;
+  if (Base)
+    Copy->Base = Base->clone();
+  for (const LArg &A : Args)
+    Copy->Args.push_back(LArg{A.Keyword, A.Expr ? A.Expr->clone() : nullptr});
+  if (Sub)
+    Copy->Sub = Sub->clone();
+  Copy->Op = Op;
+  if (Lhs)
+    Copy->Lhs = Lhs->clone();
+  if (Rhs)
+    Copy->Rhs = Rhs->clone();
+  for (const LExprPtr &I : Items)
+    Copy->Items.push_back(I->clone());
+  if (RangeLo)
+    Copy->RangeLo = RangeLo->clone();
+  if (RangeHi)
+    Copy->RangeHi = RangeHi->clone();
+  if (RangeStep)
+    Copy->RangeStep = RangeStep->clone();
+  Copy->SKind = SKind;
+  return Copy;
+}
+
+LBlock LBlock::clone() const {
+  LBlock Copy;
+  for (const LStmtPtr &S : Stmts)
+    Copy.Stmts.push_back(S->clone());
+  return Copy;
+}
+
+LStmtPtr LStmt::clone() const {
+  auto Copy = std::make_unique<LStmt>();
+  Copy->Kind = Kind;
+  Copy->NodeId = NodeId;
+  Copy->Line = Line;
+  if (Expr)
+    Copy->Expr = Expr->clone();
+  Copy->Optional = Optional;
+  Copy->Targets = Targets;
+  if (Rhs)
+    Copy->Rhs = Rhs->clone();
+  for (const LExprPtr &C : Conds)
+    Copy->Conds.push_back(C->clone());
+  for (const LBlock &B : Blocks)
+    Copy->Blocks.push_back(B.clone());
+  Copy->ElseBlock = ElseBlock.clone();
+  Copy->HasElse = HasElse;
+  if (ForInit)
+    Copy->ForInit = ForInit->clone();
+  if (ForStep)
+    Copy->ForStep = ForStep->clone();
+  return Copy;
+}
+
+const LFunction *LocusProgram::findOptSeq(const std::string &Name) const {
+  for (const LFunction &F : OptSeqs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const LFunction *LocusProgram::findQuery(const std::string &Name) const {
+  for (const LFunction &F : Queries)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+const LFunction *LocusProgram::findDef(const std::string &Name) const {
+  for (const LFunction &F : Defs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+std::unique_ptr<LocusProgram> LocusProgram::clone() const {
+  auto Copy = std::make_unique<LocusProgram>();
+  Copy->Imports = Imports;
+  Copy->GlobalStmts = GlobalStmts.clone();
+  for (const auto &[Name, Block] : CodeRegs)
+    Copy->CodeRegs.emplace_back(Name, Block.clone());
+  for (const LFunction &F : OptSeqs)
+    Copy->OptSeqs.push_back(LFunction{F.Name, F.Params, F.Body.clone(), F.Line});
+  for (const LFunction &F : Queries)
+    Copy->Queries.push_back(LFunction{F.Name, F.Params, F.Body.clone(), F.Line});
+  for (const LFunction &F : Defs)
+    Copy->Defs.push_back(LFunction{F.Name, F.Params, F.Body.clone(), F.Line});
+  Copy->Modules = Modules;
+  Copy->SearchBlock = SearchBlock.clone();
+  Copy->HasSearchBlock = HasSearchBlock;
+  return Copy;
+}
+
+} // namespace lang
+} // namespace locus

@@ -1,0 +1,174 @@
+//===- LocusAst.h - Locus optimization-language AST -------------*- C++ -*-===//
+///
+/// \file
+/// AST of the Locus optimization language (the EBNF of Fig. 4). Every node
+/// carries a NodeId assigned in parse order; search constructs derive their
+/// stable parameter identities from these ids so that space extraction and
+/// concrete execution agree on which parameter is which.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_LOCUS_LOCUSAST_H
+#define LOCUS_LOCUS_LOCUSAST_H
+
+#include "src/locus/Value.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace lang {
+
+//===----------------------------------------------------------------------===//
+// Expressions
+//===----------------------------------------------------------------------===//
+
+enum class LExprKind {
+  Lit,        ///< number / string / None literal
+  Name,
+  Attr,       ///< Base.Member (module member access)
+  Call,       ///< Callee(args...), with keyword arguments
+  Index,      ///< Base[Sub]
+  Binary,
+  Unary,
+  ListMaker,  ///< [a, b, c]
+  TupleMaker, ///< (a, b)
+  DictMaker,  ///< dict()
+  Range,      ///< lo .. hi [.. step]
+  OrExpr,     ///< a OR b OR c (search alternative)
+  SearchCall, ///< enum/integer/float/permutation/poweroftwo/loginteger/logfloat
+};
+
+/// The search data types of Section III.
+enum class SearchKind { Enum, Integer, Float, Permutation, Pow2, LogInt, LogFloat };
+
+struct LExpr;
+using LExprPtr = std::unique_ptr<LExpr>;
+
+/// One call argument, optionally keyword-named (factor=[a,b]).
+struct LArg {
+  std::string Keyword; ///< empty for positional
+  LExprPtr Expr;
+};
+
+struct LExpr {
+  LExprKind Kind = LExprKind::Lit;
+  int NodeId = 0;
+  int Line = 0;
+
+  Value Literal;                 // Lit
+  std::string Name;              // Name / Attr member
+  LExprPtr Base;                 // Attr / Call callee / Index base
+  std::vector<LArg> Args;        // Call / SearchCall
+  LExprPtr Sub;                  // Index subscript
+  std::string Op;                // Binary / Unary
+  LExprPtr Lhs, Rhs;             // Binary; Unary uses Lhs
+  std::vector<LExprPtr> Items;   // ListMaker / TupleMaker / OrExpr options
+  LExprPtr RangeLo, RangeHi, RangeStep; // Range
+  SearchKind SKind = SearchKind::Enum;  // SearchCall
+
+  LExprPtr clone() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Statements
+//===----------------------------------------------------------------------===//
+
+enum class LStmtKind {
+  ExprStmt, ///< expression evaluated for effect; may be optional (*) and may
+            ///< be an OrExpr (OR statement)
+  Assign,
+  If,
+  For,
+  While,
+  Return,
+  Print,
+  OrBlocks, ///< { ... } OR { ... } alternatives
+  Block,    ///< plain nested block
+};
+
+struct LStmt;
+using LStmtPtr = std::unique_ptr<LStmt>;
+
+struct LBlock {
+  std::vector<LStmtPtr> Stmts;
+
+  LBlock clone() const;
+};
+
+struct LStmt {
+  LStmtKind Kind = LStmtKind::ExprStmt;
+  int NodeId = 0;
+  int Line = 0;
+
+  // ExprStmt
+  LExprPtr Expr;
+  bool Optional = false; ///< preceded by '*'
+
+  // Assign
+  std::vector<std::string> Targets;
+  LExprPtr Rhs;
+
+  // If: Conds[i] guards Blocks[i]; ElseBlock may be empty
+  std::vector<LExprPtr> Conds;
+  std::vector<LBlock> Blocks; ///< If arms / For-While body at [0] / OrBlocks
+  LBlock ElseBlock;
+  bool HasElse = false;
+
+  // For
+  LStmtPtr ForInit;
+  LStmtPtr ForStep;
+
+  LStmtPtr clone() const;
+};
+
+//===----------------------------------------------------------------------===//
+// Declarations and program
+//===----------------------------------------------------------------------===//
+
+struct LFunction {
+  std::string Name;
+  std::vector<std::string> Params;
+  LBlock Body;
+  int Line = 0;
+};
+
+/// A parsed Locus optimization program.
+struct LocusProgram {
+  std::vector<std::string> Imports;
+
+  /// Top-level statements (global-scope assignments such as Fig. 11's
+  /// "datalayout = enum(...)"); executed before any CodeReg body.
+  LBlock GlobalStmts;
+
+  /// CodeReg NAME { ... } — region-targeted sequences, in source order.
+  std::vector<std::pair<std::string, LBlock>> CodeRegs;
+
+  /// OptSeq NAME(params) { ... } — reusable transformation sequences.
+  std::vector<LFunction> OptSeqs;
+
+  /// Query NAME(params) { ... } — user-defined queries.
+  std::vector<LFunction> Queries;
+
+  /// def NAME(params) { ... } — plain methods (no optimization calls).
+  std::vector<LFunction> Defs;
+
+  /// Module NAME { ... } declarations (accepted and recorded; the native
+  /// module registry provides the implementations).
+  std::vector<std::string> Modules;
+
+  /// The Search { ... } block (build/run commands, metric settings).
+  LBlock SearchBlock;
+  bool HasSearchBlock = false;
+
+  const LFunction *findOptSeq(const std::string &Name) const;
+  const LFunction *findQuery(const std::string &Name) const;
+  const LFunction *findDef(const std::string &Name) const;
+
+  std::unique_ptr<LocusProgram> clone() const;
+};
+
+} // namespace lang
+} // namespace locus
+
+#endif // LOCUS_LOCUS_LOCUSAST_H

@@ -1,0 +1,63 @@
+//===- LocusLexer.h - Locus language lexer ----------------------*- C++ -*-===//
+///
+/// \file
+/// Tokenizer for the Locus optimization language. Comments start with '#' or
+/// "//" and run to end of line. ".." (range) is a distinct token and is kept
+/// separate from floating literals ("2..32" lexes as 2, .., 32).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_LOCUS_LOCUSLEXER_H
+#define LOCUS_LOCUS_LOCUSLEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace lang {
+
+enum class LTokKind { Eof, Ident, IntLit, FloatLit, StrLit, Punct };
+
+struct LTok {
+  LTokKind Kind = LTokKind::Eof;
+  std::string Text;
+  int64_t IntValue = 0;
+  double FloatValue = 0;
+  int Line = 0;
+
+  bool is(LTokKind K) const { return Kind == K; }
+  bool isPunct(const char *P) const {
+    return Kind == LTokKind::Punct && Text == P;
+  }
+  bool isIdent(const char *Name) const {
+    return Kind == LTokKind::Ident && Text == Name;
+  }
+};
+
+/// Tokenizes Locus source; on error the token stream ends early and error()
+/// is non-empty.
+class LocusLexer {
+public:
+  explicit LocusLexer(std::string Source);
+
+  std::vector<LTok> lexAll();
+  const std::string &error() const { return ErrorMessage; }
+  bool hadError() const { return !ErrorMessage.empty(); }
+
+private:
+  LTok lexToken();
+  void skipTrivia();
+  char peek(int Ahead = 0) const;
+  char advance();
+  bool atEnd() const { return Pos >= Source.size(); }
+
+  std::string Source;
+  size_t Pos = 0;
+  int Line = 1;
+  std::string ErrorMessage;
+};
+
+} // namespace lang
+} // namespace locus
+
+#endif // LOCUS_LOCUS_LOCUSLEXER_H

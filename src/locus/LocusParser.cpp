@@ -1,0 +1,553 @@
+//===- LocusParser.cpp - Locus language parser ---------------------------------===//
+
+#include "src/locus/LocusParser.h"
+
+#include "src/locus/LocusLexer.h"
+
+#include <cassert>
+
+namespace locus {
+namespace lang {
+
+namespace {
+
+class Parser {
+public:
+  explicit Parser(std::vector<LTok> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Expected<std::unique_ptr<LocusProgram>> parse() {
+    auto Prog = std::make_unique<LocusProgram>();
+    while (!peek().is(LTokKind::Eof) && Error.empty()) {
+      if (peek().isIdent("import")) {
+        advance();
+        if (!peek().is(LTokKind::StrLit)) {
+          fail("import expects a string");
+          break;
+        }
+        Prog->Imports.push_back(advance().Text);
+        expect(";");
+      } else if (peek().isIdent("extern")) {
+        advance();
+        parseExpr(); // accepted and ignored
+        expect(";");
+      } else if (peek().isIdent("CodeReg")) {
+        advance();
+        std::string Name = expectIdent("CodeReg name");
+        LBlock Body = parseBlock();
+        Prog->CodeRegs.emplace_back(std::move(Name), std::move(Body));
+      } else if (peek().isIdent("OptSeq")) {
+        Prog->OptSeqs.push_back(parseFunction("OptSeq"));
+      } else if (peek().isIdent("Query")) {
+        Prog->Queries.push_back(parseFunction("Query"));
+      } else if (peek().isIdent("def")) {
+        Prog->Defs.push_back(parseFunction("def"));
+      } else if (peek().isIdent("Module")) {
+        advance();
+        std::string Name = expectIdent("Module name");
+        parseBlock(); // declaration body; implementations are native
+        Prog->Modules.push_back(std::move(Name));
+      } else if (peek().isIdent("Search")) {
+        advance();
+        Prog->SearchBlock = parseBlock();
+        Prog->HasSearchBlock = true;
+      } else {
+        // Top-level statement (global scope), e.g. Fig. 11's
+        // datalayout = enum("DZG", ...);
+        LStmtPtr S = parseStmt();
+        if (!S)
+          break;
+        Prog->GlobalStmts.Stmts.push_back(std::move(S));
+      }
+    }
+    if (!Error.empty())
+      return Expected<std::unique_ptr<LocusProgram>>::error(Error);
+    return Expected<std::unique_ptr<LocusProgram>>(std::move(Prog));
+  }
+
+private:
+  const LTok &peek(int Ahead = 0) const {
+    size_t P = Pos + static_cast<size_t>(Ahead);
+    if (P >= Tokens.size())
+      P = Tokens.size() - 1;
+    return Tokens[P];
+  }
+  const LTok &advance() {
+    const LTok &T = Tokens[Pos];
+    if (Pos + 1 < Tokens.size())
+      ++Pos;
+    return T;
+  }
+  bool match(const char *P) {
+    if (peek().isPunct(P)) {
+      advance();
+      return true;
+    }
+    return false;
+  }
+  void expect(const char *P) {
+    if (!match(P))
+      fail(std::string("expected '") + P + "' but found '" + peek().Text + "'");
+  }
+  std::string expectIdent(const char *What) {
+    if (!peek().is(LTokKind::Ident)) {
+      fail(std::string("expected ") + What);
+      return "";
+    }
+    return advance().Text;
+  }
+  void fail(const std::string &Message) {
+    if (Error.empty())
+      Error = "line " + std::to_string(peek().Line) + ": " + Message;
+    Pos = Tokens.size() - 1;
+  }
+
+  LExprPtr newExpr(LExprKind Kind) {
+    auto E = std::make_unique<LExpr>();
+    E->Kind = Kind;
+    E->NodeId = NextId++;
+    E->Line = peek().Line;
+    return E;
+  }
+  LStmtPtr newStmt(LStmtKind Kind) {
+    auto S = std::make_unique<LStmt>();
+    S->Kind = Kind;
+    S->NodeId = NextId++;
+    S->Line = peek().Line;
+    return S;
+  }
+
+  LFunction parseFunction(const char *Keyword) {
+    advance(); // keyword
+    LFunction F;
+    F.Line = peek().Line;
+    F.Name = expectIdent((std::string(Keyword) + " name").c_str());
+    expect("(");
+    if (!peek().isPunct(")")) {
+      while (true) {
+        F.Params.push_back(expectIdent("parameter name"));
+        if (!match(","))
+          break;
+      }
+    }
+    expect(")");
+    F.Body = parseBlock();
+    return F;
+  }
+
+  LBlock parseBlock() {
+    LBlock Block;
+    expect("{");
+    while (!peek().isPunct("}") && !peek().is(LTokKind::Eof) && Error.empty()) {
+      LStmtPtr S = parseStmt();
+      if (!S)
+        break;
+      Block.Stmts.push_back(std::move(S));
+    }
+    expect("}");
+    return Block;
+  }
+
+  LStmtPtr parseStmt() {
+    // Block or OR-blocks group.
+    if (peek().isPunct("{")) {
+      LStmtPtr S = newStmt(LStmtKind::Block);
+      S->Blocks.push_back(parseBlock());
+      while (peek().isIdent("OR")) {
+        advance();
+        S->Kind = LStmtKind::OrBlocks;
+        S->Blocks.push_back(parseBlock());
+      }
+      return S;
+    }
+    if (peek().isIdent("if"))
+      return parseIf();
+    if (peek().isIdent("for"))
+      return parseFor();
+    if (peek().isIdent("while")) {
+      LStmtPtr S = newStmt(LStmtKind::While);
+      advance();
+      S->Conds.push_back(parseExpr());
+      S->Blocks.push_back(parseBlock());
+      return S;
+    }
+    if (peek().isIdent("return")) {
+      LStmtPtr S = newStmt(LStmtKind::Return);
+      advance();
+      if (!peek().isPunct(";"))
+        S->Expr = parseExpr();
+      expect(";");
+      return S;
+    }
+    if (peek().isIdent("print")) {
+      LStmtPtr S = newStmt(LStmtKind::Print);
+      advance();
+      S->Expr = parseExpr();
+      expect(";");
+      return S;
+    }
+    LStmtPtr S = parseSmallStmt();
+    expect(";");
+    return S;
+  }
+
+  LStmtPtr parseIf() {
+    LStmtPtr S = newStmt(LStmtKind::If);
+    advance(); // if
+    S->Conds.push_back(parseExpr());
+    S->Blocks.push_back(parseBlock());
+    while (peek().isIdent("elif")) {
+      advance();
+      S->Conds.push_back(parseExpr());
+      S->Blocks.push_back(parseBlock());
+    }
+    if (peek().isIdent("else")) {
+      advance();
+      S->ElseBlock = parseBlock();
+      S->HasElse = true;
+    }
+    return S;
+  }
+
+  LStmtPtr parseFor() {
+    LStmtPtr S = newStmt(LStmtKind::For);
+    advance(); // for
+    expect("(");
+    S->ForInit = parseSmallStmt();
+    expect(";");
+    S->Conds.push_back(parseExpr());
+    expect(";");
+    S->ForStep = parseSmallStmt();
+    expect(")");
+    S->Blocks.push_back(parseBlock());
+    return S;
+  }
+
+  /// smallstmt := '*'? orexpr | NAME (',' NAME)* '=' orexpr
+  LStmtPtr parseSmallStmt() {
+    bool Optional = false;
+    if (peek().isPunct("*")) {
+      advance();
+      Optional = true;
+    }
+
+    // Assignment lookahead: IDENT (',' IDENT)* '='.
+    if (!Optional && peek().is(LTokKind::Ident)) {
+      size_t Scan = Pos;
+      bool IsAssign = false;
+      while (Scan < Tokens.size() && Tokens[Scan].is(LTokKind::Ident)) {
+        ++Scan;
+        if (Scan < Tokens.size() && Tokens[Scan].isPunct(",")) {
+          ++Scan;
+          continue;
+        }
+        if (Scan < Tokens.size() && Tokens[Scan].isPunct("="))
+          IsAssign = true;
+        break;
+      }
+      if (IsAssign) {
+        LStmtPtr S = newStmt(LStmtKind::Assign);
+        while (true) {
+          S->Targets.push_back(expectIdent("assignment target"));
+          if (!match(","))
+            break;
+        }
+        expect("=");
+        S->Rhs = parseOrExpr();
+        return S;
+      }
+    }
+
+    LStmtPtr S = newStmt(LStmtKind::ExprStmt);
+    S->Optional = Optional;
+    S->Expr = parseOrExpr();
+    return S;
+  }
+
+  /// orexpr := test ('OR' test)*
+  LExprPtr parseOrExpr() {
+    LExprPtr First = parseExpr();
+    if (!peek().isIdent("OR"))
+      return First;
+    LExprPtr Or = newExpr(LExprKind::OrExpr);
+    Or->Items.push_back(std::move(First));
+    while (peek().isIdent("OR")) {
+      advance();
+      Or->Items.push_back(parseExpr());
+    }
+    return Or;
+  }
+
+  /// test with optional range suffix: a '..' b ['..' c]
+  LExprPtr parseExpr() {
+    LExprPtr E = parseLogicalOr();
+    if (peek().isPunct("..")) {
+      LExprPtr R = newExpr(LExprKind::Range);
+      R->RangeLo = std::move(E);
+      advance();
+      R->RangeHi = parseLogicalOr();
+      if (match(".."))
+        R->RangeStep = parseLogicalOr();
+      return R;
+    }
+    return E;
+  }
+
+  LExprPtr binary(const char *Op, LExprPtr L, LExprPtr R) {
+    LExprPtr E = newExpr(LExprKind::Binary);
+    E->Op = Op;
+    E->Lhs = std::move(L);
+    E->Rhs = std::move(R);
+    return E;
+  }
+
+  LExprPtr parseLogicalOr() {
+    LExprPtr E = parseLogicalAnd();
+    while (peek().isPunct("||")) {
+      advance();
+      E = binary("||", std::move(E), parseLogicalAnd());
+    }
+    return E;
+  }
+
+  LExprPtr parseLogicalAnd() {
+    LExprPtr E = parseNot();
+    while (peek().isPunct("&&")) {
+      advance();
+      E = binary("&&", std::move(E), parseNot());
+    }
+    return E;
+  }
+
+  LExprPtr parseNot() {
+    if (peek().isIdent("not")) {
+      advance();
+      LExprPtr E = newExpr(LExprKind::Unary);
+      E->Op = "not";
+      E->Lhs = parseNot();
+      return E;
+    }
+    return parseComparison();
+  }
+
+  LExprPtr parseComparison() {
+    LExprPtr E = parseAdditive();
+    while (peek().isPunct("<") || peek().isPunct(">") || peek().isPunct("==") ||
+           peek().isPunct("!=") || peek().isPunct("<=") ||
+           peek().isPunct(">=")) {
+      std::string Op = advance().Text;
+      E = binary(Op.c_str(), std::move(E), parseAdditive());
+    }
+    return E;
+  }
+
+  LExprPtr parseAdditive() {
+    LExprPtr E = parseMultiplicative();
+    while (peek().isPunct("+") || peek().isPunct("-")) {
+      std::string Op = advance().Text;
+      E = binary(Op.c_str(), std::move(E), parseMultiplicative());
+    }
+    return E;
+  }
+
+  LExprPtr parseMultiplicative() {
+    LExprPtr E = parsePower();
+    while (peek().isPunct("*") || peek().isPunct("/") || peek().isPunct("%")) {
+      std::string Op = advance().Text;
+      E = binary(Op.c_str(), std::move(E), parsePower());
+    }
+    return E;
+  }
+
+  LExprPtr parsePower() {
+    LExprPtr E = parseUnary();
+    if (peek().isPunct("**")) {
+      advance();
+      return binary("**", std::move(E), parsePower());
+    }
+    return E;
+  }
+
+  LExprPtr parseUnary() {
+    if (peek().isPunct("-")) {
+      advance();
+      LExprPtr E = newExpr(LExprKind::Unary);
+      E->Op = "-";
+      E->Lhs = parseUnary();
+      return E;
+    }
+    if (peek().isPunct("!")) {
+      advance();
+      LExprPtr E = newExpr(LExprKind::Unary);
+      E->Op = "not";
+      E->Lhs = parseUnary();
+      return E;
+    }
+    return parsePostfix();
+  }
+
+  static SearchKind searchKindFor(const std::string &Name, bool &Found) {
+    Found = true;
+    if (Name == "enum")
+      return SearchKind::Enum;
+    if (Name == "integer")
+      return SearchKind::Integer;
+    if (Name == "float")
+      return SearchKind::Float;
+    if (Name == "permutation")
+      return SearchKind::Permutation;
+    if (Name == "poweroftwo")
+      return SearchKind::Pow2;
+    if (Name == "loginteger")
+      return SearchKind::LogInt;
+    if (Name == "logfloat")
+      return SearchKind::LogFloat;
+    Found = false;
+    return SearchKind::Enum;
+  }
+
+  std::vector<LArg> parseCallArgs() {
+    std::vector<LArg> Args;
+    expect("(");
+    if (!peek().isPunct(")")) {
+      while (true) {
+        LArg A;
+        // Keyword argument lookahead: IDENT '=' (not '==').
+        if (peek().is(LTokKind::Ident) && peek(1).isPunct("=")) {
+          A.Keyword = advance().Text;
+          advance(); // '='
+        }
+        A.Expr = parseExpr();
+        Args.push_back(std::move(A));
+        if (!match(","))
+          break;
+      }
+    }
+    expect(")");
+    return Args;
+  }
+
+  LExprPtr parsePostfix() {
+    LExprPtr E = parseAtom();
+    while (true) {
+      if (peek().isPunct("(")) {
+        // Search data types become SearchCall nodes.
+        if (E && E->Kind == LExprKind::Name) {
+          bool IsSearch = false;
+          SearchKind SK = searchKindFor(E->Name, IsSearch);
+          if (IsSearch) {
+            LExprPtr S = newExpr(LExprKind::SearchCall);
+            S->SKind = SK;
+            S->Name = E->Name;
+            S->Args = parseCallArgs();
+            E = std::move(S);
+            continue;
+          }
+          if (E->Name == "dict") {
+            LExprPtr D = newExpr(LExprKind::DictMaker);
+            D->Args = parseCallArgs();
+            E = std::move(D);
+            continue;
+          }
+        }
+        LExprPtr C = newExpr(LExprKind::Call);
+        C->Base = std::move(E);
+        C->Args = parseCallArgs();
+        E = std::move(C);
+      } else if (peek().isPunct(".") && !peek().isPunct("..")) {
+        advance();
+        LExprPtr A = newExpr(LExprKind::Attr);
+        A->Base = std::move(E);
+        A->Name = expectIdent("attribute name");
+        E = std::move(A);
+      } else if (peek().isPunct("[")) {
+        advance();
+        LExprPtr I = newExpr(LExprKind::Index);
+        I->Base = std::move(E);
+        I->Sub = parseExpr();
+        expect("]");
+        E = std::move(I);
+      } else {
+        return E;
+      }
+    }
+  }
+
+  LExprPtr parseAtom() {
+    const LTok &T = peek();
+    if (T.is(LTokKind::IntLit)) {
+      LExprPtr E = newExpr(LExprKind::Lit);
+      E->Literal = Value(advance().IntValue);
+      return E;
+    }
+    if (T.is(LTokKind::FloatLit)) {
+      LExprPtr E = newExpr(LExprKind::Lit);
+      E->Literal = Value(advance().FloatValue);
+      return E;
+    }
+    if (T.is(LTokKind::StrLit)) {
+      LExprPtr E = newExpr(LExprKind::Lit);
+      E->Literal = Value(advance().Text);
+      return E;
+    }
+    if (T.isIdent("None")) {
+      advance();
+      LExprPtr E = newExpr(LExprKind::Lit);
+      E->Literal = Value::none();
+      return E;
+    }
+    if (T.is(LTokKind::Ident)) {
+      LExprPtr E = newExpr(LExprKind::Name);
+      E->Name = advance().Text;
+      return E;
+    }
+    if (T.isPunct("[")) {
+      advance();
+      LExprPtr E = newExpr(LExprKind::ListMaker);
+      if (!peek().isPunct("]")) {
+        while (true) {
+          E->Items.push_back(parseExpr());
+          if (!match(","))
+            break;
+        }
+      }
+      expect("]");
+      return E;
+    }
+    if (T.isPunct("(")) {
+      advance();
+      LExprPtr First = parseExpr();
+      if (match(")"))
+        return First; // parenthesized expression
+      // Tuple maker.
+      LExprPtr E = newExpr(LExprKind::TupleMaker);
+      E->Items.push_back(std::move(First));
+      while (match(","))
+        if (!peek().isPunct(")"))
+          E->Items.push_back(parseExpr());
+      expect(")");
+      return E;
+    }
+    fail("unexpected token '" + T.Text + "' in expression");
+    return nullptr;
+  }
+
+  std::vector<LTok> Tokens;
+  size_t Pos = 0;
+  std::string Error;
+  int NextId = 1;
+};
+
+} // namespace
+
+Expected<std::unique_ptr<LocusProgram>>
+parseLocusProgram(const std::string &Source) {
+  LocusLexer Lex(Source);
+  std::vector<LTok> Tokens = Lex.lexAll();
+  if (Lex.hadError())
+    return Expected<std::unique_ptr<LocusProgram>>::error(Lex.error());
+  Parser P(std::move(Tokens));
+  return P.parse();
+}
+
+} // namespace lang
+} // namespace locus

@@ -1,0 +1,26 @@
+//===- LocusParser.h - Locus language parser --------------------*- C++ -*-===//
+///
+/// \file
+/// Recursive-descent parser for the Locus optimization language (Fig. 4).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_LOCUS_LOCUSPARSER_H
+#define LOCUS_LOCUS_LOCUSPARSER_H
+
+#include "src/locus/LocusAst.h"
+#include "src/support/Error.h"
+
+#include <memory>
+#include <string>
+
+namespace locus {
+namespace lang {
+
+/// Parses a Locus optimization program.
+Expected<std::unique_ptr<LocusProgram>>
+parseLocusProgram(const std::string &Source);
+
+} // namespace lang
+} // namespace locus
+
+#endif // LOCUS_LOCUS_LOCUSPARSER_H

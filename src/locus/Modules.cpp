@@ -1,0 +1,436 @@
+//===- Modules.cpp - Transformation/query module registry ---------------------===//
+
+#include "src/locus/Modules.h"
+
+#include "src/analysis/Dependence.h"
+#include "src/cir/AstUtils.h"
+#include "src/cir/PathIndex.h"
+#include "src/transform/AltdescPragmas.h"
+#include "src/transform/FusionDistribution.h"
+#include "src/transform/GenericTiling.h"
+#include "src/transform/Interchange.h"
+#include "src/transform/LicmScalarRepl.h"
+#include "src/transform/Tiling.h"
+#include "src/transform/Unroll.h"
+
+#include <algorithm>
+
+namespace locus {
+namespace lang {
+
+using transform::TransformResult;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Argument conversion helpers
+//===----------------------------------------------------------------------===//
+
+const Value *findArg(const ModuleArgs &Args, const std::string &Name) {
+  auto It = Args.find(Name);
+  return It == Args.end() ? nullptr : &It->second;
+}
+
+Expected<std::string> argString(const ModuleArgs &Args, const std::string &Name,
+                                const std::string &Default) {
+  const Value *V = findArg(Args, Name);
+  if (!V)
+    return Default;
+  if (V->isString())
+    return V->asString();
+  if (V->isInt())
+    return std::to_string(V->asInt());
+  return Expected<std::string>::error("argument '" + Name +
+                                      "' must be a string");
+}
+
+Expected<int64_t> argInt(const ModuleArgs &Args, const std::string &Name,
+                         int64_t Default) {
+  const Value *V = findArg(Args, Name);
+  if (!V)
+    return Default;
+  if (V->isInt())
+    return V->asInt();
+  return Expected<int64_t>::error("argument '" + Name + "' must be an integer");
+}
+
+Expected<std::vector<int64_t>> argIntList(const Value &V,
+                                          const std::string &Name) {
+  std::vector<int64_t> Out;
+  if (V.isInt()) {
+    Out.push_back(V.asInt());
+    return Out;
+  }
+  const std::vector<Value> *Items = nullptr;
+  std::vector<Value> TupleCopy;
+  if (V.isList())
+    Items = V.asList().get();
+  else if (V.isTuple()) {
+    TupleCopy = V.asTuple();
+    Items = &TupleCopy;
+  }
+  if (!Items)
+    return Expected<std::vector<int64_t>>::error(
+        "argument '" + Name + "' must be an integer or list of integers");
+  for (const Value &I : *Items) {
+    if (!I.isInt())
+      return Expected<std::vector<int64_t>>::error(
+          "argument '" + Name + "' must contain integers");
+    Out.push_back(I.asInt());
+  }
+  return Out;
+}
+
+/// Expands the "loop" argument into a list of loop paths. Accepts a path
+/// string, the special string "innermost", or a list of path strings.
+Expected<std::vector<std::string>> loopPaths(const ModuleArgs &Args,
+                                             ModuleCallContext &Ctx,
+                                             const std::string &Default) {
+  const Value *V = findArg(Args, "loop");
+  std::vector<std::string> Out;
+  auto FromString = [&](const std::string &S) {
+    if (S == "innermost") {
+      for (const cir::LoopEntry &E : cir::listInnerLoops(*Ctx.Region))
+        Out.push_back(E.Path);
+    } else if (S == "outermost") {
+      for (const cir::LoopEntry &E : cir::listOuterLoops(*Ctx.Region))
+        Out.push_back(E.Path);
+    } else {
+      Out.push_back(S);
+    }
+  };
+  if (!V) {
+    FromString(Default);
+    return Out;
+  }
+  if (V->isString()) {
+    FromString(V->asString());
+    return Out;
+  }
+  if (V->isList()) {
+    for (const Value &I : *V->asList()) {
+      if (!I.isString())
+        return Expected<std::vector<std::string>>::error(
+            "'loop' list must contain path strings");
+      FromString(I.asString());
+    }
+    return Out;
+  }
+  return Expected<std::vector<std::string>>::error(
+      "'loop' must be a path string or a list of paths");
+}
+
+ModuleOutcome argError(const std::string &Message) {
+  return ModuleOutcome::from(TransformResult::error(Message));
+}
+
+//===----------------------------------------------------------------------===//
+// Transformation members
+//===----------------------------------------------------------------------===//
+
+ModuleOutcome runTiling(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  const Value *Factor = findArg(Args, "factor");
+  if (!Factor)
+    return argError("Tiling requires a 'factor' argument");
+  Expected<std::vector<int64_t>> Factors = argIntList(*Factor, "factor");
+  if (!Factors.ok())
+    return argError(Factors.message());
+
+  transform::TilingArgs T;
+  const Value *Loop = findArg(Args, "loop");
+  if (Loop && Loop->isInt()) {
+    // Fig. 13 form: the loop is named by its 1-based depth in the nest.
+    T.SingleLoopDepth = static_cast<int>(Loop->asInt());
+    T.LoopPath = "0";
+    if (Factors->size() != 1)
+      return argError("depth-indexed Tiling takes a single factor");
+  } else {
+    Expected<std::string> Path = argString(Args, "loop", "0");
+    if (!Path.ok())
+      return argError(Path.message());
+    T.LoopPath = *Path;
+  }
+  T.Factors = *Factors;
+  return ModuleOutcome::from(transform::applyTiling(*Ctx.Region, T, *Ctx.TCtx));
+}
+
+ModuleOutcome runGenericTiling(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  const Value *Factor = findArg(Args, "factor");
+  if (!Factor || !Factor->isList())
+    return argError("GenericTiling requires a matrix 'factor' argument");
+  transform::GenericTilingArgs G;
+  Expected<std::string> Path = argString(Args, "loop", "0");
+  if (!Path.ok())
+    return argError(Path.message());
+  G.LoopPath = *Path;
+  for (const Value &Row : *Factor->asList()) {
+    Expected<std::vector<int64_t>> R = argIntList(Row, "factor");
+    if (!R.ok())
+      return argError(R.message());
+    G.Matrix.push_back(*R);
+  }
+  return ModuleOutcome::from(
+      transform::applyGenericTiling(*Ctx.Region, G, *Ctx.TCtx));
+}
+
+ModuleOutcome runInterchange(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  const Value *Order = findArg(Args, "order");
+  if (!Order)
+    return argError("Interchange requires an 'order' argument");
+  Expected<std::vector<int64_t>> O = argIntList(*Order, "order");
+  if (!O.ok())
+    return argError(O.message());
+  transform::InterchangeArgs I;
+  Expected<std::string> Path = argString(Args, "loop", "0");
+  if (!Path.ok())
+    return argError(Path.message());
+  I.LoopPath = *Path;
+  for (int64_t X : *O)
+    I.Order.push_back(static_cast<int>(X));
+  return ModuleOutcome::from(
+      transform::applyInterchange(*Ctx.Region, I, *Ctx.TCtx));
+}
+
+ModuleOutcome runUnroll(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  Expected<int64_t> Factor = argInt(Args, "factor", 2);
+  if (!Factor.ok())
+    return argError(Factor.message());
+  Expected<std::vector<std::string>> Paths = loopPaths(Args, Ctx, "innermost");
+  if (!Paths.ok())
+    return argError(Paths.message());
+  if (Paths->empty())
+    return ModuleOutcome::from(TransformResult::noop("no loops to unroll"));
+  TransformResult Last = TransformResult::noop();
+  bool AnySuccess = false;
+  for (const std::string &Path : *Paths) {
+    transform::UnrollArgs U;
+    U.LoopPath = Path;
+    U.Factor = *Factor;
+    Last = transform::applyUnroll(*Ctx.Region, U, *Ctx.TCtx);
+    if (Last.Status == transform::TransformStatus::Error ||
+        Last.Status == transform::TransformStatus::Illegal)
+      return ModuleOutcome::from(Last);
+    AnySuccess |= Last.succeeded();
+  }
+  return ModuleOutcome::from(AnySuccess ? TransformResult::success() : Last);
+}
+
+ModuleOutcome runUnrollAndJam(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  Expected<int64_t> Factor = argInt(Args, "factor", 2);
+  if (!Factor.ok())
+    return argError(Factor.message());
+  transform::UnrollAndJamArgs U;
+  const Value *Loop = findArg(Args, "loop");
+  if (Loop && Loop->isInt()) {
+    U.Depth = static_cast<int>(Loop->asInt());
+    U.LoopPath = "0";
+  } else {
+    Expected<std::string> Path = argString(Args, "loop", "0");
+    if (!Path.ok())
+      return argError(Path.message());
+    U.LoopPath = *Path;
+    U.Depth = 1;
+  }
+  U.Factor = *Factor;
+  return ModuleOutcome::from(
+      transform::applyUnrollAndJam(*Ctx.Region, U, *Ctx.TCtx));
+}
+
+ModuleOutcome runDistribute(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  Expected<std::vector<std::string>> Paths = loopPaths(Args, Ctx, "innermost");
+  if (!Paths.ok())
+    return argError(Paths.message());
+  TransformResult Last = TransformResult::noop();
+  bool AnySuccess = false;
+  for (const std::string &Path : *Paths) {
+    transform::DistributionArgs D;
+    D.LoopPath = Path;
+    Last = transform::applyDistribution(*Ctx.Region, D, *Ctx.TCtx);
+    if (Last.Status == transform::TransformStatus::Error)
+      return ModuleOutcome::from(Last);
+    AnySuccess |= Last.succeeded();
+  }
+  return ModuleOutcome::from(AnySuccess ? TransformResult::success() : Last);
+}
+
+ModuleOutcome runFusion(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  transform::FusionArgs F;
+  Expected<std::string> Path = argString(Args, "loop", "0");
+  if (!Path.ok())
+    return argError(Path.message());
+  F.LoopPath = *Path;
+  return ModuleOutcome::from(transform::applyFusion(*Ctx.Region, F, *Ctx.TCtx));
+}
+
+ModuleOutcome runLicm(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  (void)Args;
+  transform::LicmArgs L;
+  return ModuleOutcome::from(transform::applyLicm(*Ctx.Region, L, *Ctx.TCtx));
+}
+
+ModuleOutcome runScalarRepl(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  (void)Args;
+  transform::ScalarReplArgs S;
+  return ModuleOutcome::from(
+      transform::applyScalarRepl(*Ctx.Region, S, *Ctx.TCtx));
+}
+
+ModuleOutcome runAltdesc(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  transform::AltdescArgs A;
+  Expected<std::string> Stmt = argString(Args, "stmt", "");
+  Expected<std::string> Source = argString(Args, "source", "");
+  if (!Stmt.ok())
+    return argError(Stmt.message());
+  if (!Source.ok())
+    return argError(Source.message());
+  if (Source->empty())
+    return argError("Altdesc requires a 'source' argument");
+  A.StmtPath = *Stmt;
+  A.Source = *Source;
+  return ModuleOutcome::from(
+      transform::applyAltdesc(*Ctx.Region, A, *Ctx.TCtx));
+}
+
+ModuleOutcome runSimplePragma(const char *Text, const ModuleArgs &Args,
+                              ModuleCallContext &Ctx) {
+  transform::PragmaArgs P;
+  Expected<std::string> Path = argString(Args, "loop", "0");
+  if (!Path.ok())
+    return argError(Path.message());
+  P.LoopPath = *Path;
+  P.Text = Text;
+  return ModuleOutcome::from(transform::applyPragma(*Ctx.Region, P, *Ctx.TCtx));
+}
+
+ModuleOutcome runOmpFor(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  transform::OmpForArgs O;
+  Expected<std::string> Path = argString(Args, "loop", "0");
+  Expected<std::string> Schedule = argString(Args, "schedule", "");
+  Expected<int64_t> Chunk = argInt(Args, "chunk", 0);
+  if (!Path.ok())
+    return argError(Path.message());
+  if (!Schedule.ok())
+    return argError(Schedule.message());
+  if (!Chunk.ok())
+    return argError(Chunk.message());
+  O.LoopPath = *Path;
+  O.Schedule = *Schedule;
+  O.Chunk = *Chunk;
+  return ModuleOutcome::from(transform::applyOmpFor(*Ctx.Region, O, *Ctx.TCtx));
+}
+
+//===----------------------------------------------------------------------===//
+// Query members
+//===----------------------------------------------------------------------===//
+
+/// The first outermost loop of the region, or null.
+cir::ForStmt *firstOuterLoop(cir::Block &Region) {
+  std::vector<cir::LoopEntry> Outer = cir::listOuterLoops(Region);
+  return Outer.empty() ? nullptr : Outer[0].Loop;
+}
+
+ModuleOutcome queryIsDepAvailable(const ModuleArgs &Args,
+                                  ModuleCallContext &Ctx) {
+  (void)Args;
+  std::vector<cir::LoopEntry> Outer = cir::listOuterLoops(*Ctx.Region);
+  if (Outer.empty())
+    return ModuleOutcome::ok(Value::boolean(false));
+  for (const cir::LoopEntry &E : Outer)
+    if (!analysis::DependenceInfo::compute(*E.Loop))
+      return ModuleOutcome::ok(Value::boolean(false));
+  return ModuleOutcome::ok(Value::boolean(true));
+}
+
+ModuleOutcome queryIsPerfect(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  (void)Args;
+  cir::ForStmt *Loop = firstOuterLoop(*Ctx.Region);
+  if (!Loop)
+    return ModuleOutcome::ok(Value::boolean(false));
+  return ModuleOutcome::ok(Value::boolean(cir::isPerfectNest(*Loop)));
+}
+
+ModuleOutcome queryDepth(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  (void)Args;
+  cir::ForStmt *Loop = firstOuterLoop(*Ctx.Region);
+  if (!Loop)
+    return ModuleOutcome::ok(Value(static_cast<int64_t>(0)));
+  return ModuleOutcome::ok(
+      Value(static_cast<int64_t>(cir::loopNestDepth(*Loop))));
+}
+
+ModuleOutcome queryInnerLoops(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  (void)Args;
+  std::vector<Value> Paths;
+  for (const cir::LoopEntry &E : cir::listInnerLoops(*Ctx.Region))
+    Paths.push_back(Value(E.Path));
+  return ModuleOutcome::ok(Value::list(std::move(Paths)));
+}
+
+ModuleOutcome queryOuterLoops(const ModuleArgs &Args, ModuleCallContext &Ctx) {
+  (void)Args;
+  std::vector<Value> Paths;
+  for (const cir::LoopEntry &E : cir::listOuterLoops(*Ctx.Region))
+    Paths.push_back(Value(E.Path));
+  return ModuleOutcome::ok(Value::list(std::move(Paths)));
+}
+
+} // namespace
+
+void ModuleRegistry::add(const std::string &Module, const std::string &Member,
+                         ModuleMember M) {
+  Collections[Module][Member] = std::move(M);
+}
+
+const ModuleMember *ModuleRegistry::find(const std::string &Module,
+                                         const std::string &Member) const {
+  auto MIt = Collections.find(Module);
+  if (MIt == Collections.end())
+    return nullptr;
+  auto It = MIt->second.find(Member);
+  return It == MIt->second.end() ? nullptr : &It->second;
+}
+
+ModuleRegistry ModuleRegistry::standard() {
+  ModuleRegistry R;
+
+  // RoseLocus: the annotation-based transformations of Section IV-A.2.
+  R.add("RoseLocus", "Tiling", ModuleMember{runTiling, false});
+  R.add("RoseLocus", "Interchange", ModuleMember{runInterchange, false});
+  R.add("RoseLocus", "Unroll", ModuleMember{runUnroll, false});
+  R.add("RoseLocus", "UnrollAndJam", ModuleMember{runUnrollAndJam, false});
+  R.add("RoseLocus", "LICM", ModuleMember{runLicm, false});
+  R.add("RoseLocus", "ScalarRepl", ModuleMember{runScalarRepl, false});
+  R.add("RoseLocus", "Distribute", ModuleMember{runDistribute, false});
+  R.add("RoseLocus", "IsDepAvailable", ModuleMember{queryIsDepAvailable, true});
+
+  // Pips: Section IV-A.1 (unrolling, GenericTiling, fusion, unroll-and-jam).
+  R.add("Pips", "Unroll", ModuleMember{runUnroll, false});
+  R.add("Pips", "Tiling", ModuleMember{runTiling, false});
+  R.add("Pips", "GenericTiling", ModuleMember{runGenericTiling, false});
+  R.add("Pips", "Fusion", ModuleMember{runFusion, false});
+  R.add("Pips", "UnrollAndJam", ModuleMember{runUnrollAndJam, false});
+
+  // Pragma: Section IV-A.3.
+  R.add("Pragma", "Ivdep", ModuleMember{
+                               [](const ModuleArgs &A, ModuleCallContext &C) {
+                                 return runSimplePragma("ivdep", A, C);
+                               },
+                               false});
+  R.add("Pragma", "Vector", ModuleMember{
+                                [](const ModuleArgs &A, ModuleCallContext &C) {
+                                  return runSimplePragma("vector always", A, C);
+                                },
+                                false});
+  R.add("Pragma", "OMPFor", ModuleMember{runOmpFor, false});
+
+  // BuiltIn: Section IV-A.4.
+  R.add("BuiltIn", "ListInnerLoops", ModuleMember{queryInnerLoops, true});
+  R.add("BuiltIn", "ListOuterLoops", ModuleMember{queryOuterLoops, true});
+  R.add("BuiltIn", "IsPerfectLoopNest", ModuleMember{queryIsPerfect, true});
+  R.add("BuiltIn", "LoopNestDepth", ModuleMember{queryDepth, true});
+  R.add("BuiltIn", "Altdesc", ModuleMember{runAltdesc, false});
+  return R;
+}
+
+} // namespace lang
+} // namespace locus

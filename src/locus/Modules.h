@@ -1,0 +1,86 @@
+//===- Modules.h - Transformation/query module registry ---------*- C++ -*-===//
+///
+/// \file
+/// The module integration layer of Section IV-A. Modules are grouped into
+/// the four collections the paper ships — Pips, RoseLocus, Pragma and
+/// BuiltIn — each exposing named members the Locus interpreter can invoke
+/// ("RoseLocus.Tiling(...)"). Every member is a wrapper function that
+/// translates dynamically typed Locus arguments into the native
+/// transformation's argument struct and reports the module exit status back
+/// (successful / illegal / error), matching the wrapper protocol of
+/// Section II. Query members (IsDepAvailable, ListInnerLoops, ...) return
+/// values and never mutate the region.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_LOCUS_MODULES_H
+#define LOCUS_LOCUS_MODULES_H
+
+#include "src/locus/Value.h"
+#include "src/transform/Transform.h"
+
+#include <functional>
+#include <map>
+#include <string>
+
+namespace locus {
+namespace lang {
+
+/// Context handed to module member invocations.
+struct ModuleCallContext {
+  cir::Block *Region = nullptr;
+  cir::Program *Program = nullptr;
+  transform::TransformContext *TCtx = nullptr;
+};
+
+/// Result of a module member call: native status plus a return value
+/// (meaningful for queries).
+struct ModuleOutcome {
+  transform::TransformResult Result;
+  Value Ret;
+
+  static ModuleOutcome ok(Value V = Value::none()) {
+    return ModuleOutcome{transform::TransformResult::success(), std::move(V)};
+  }
+  static ModuleOutcome from(transform::TransformResult R) {
+    return ModuleOutcome{std::move(R), Value::none()};
+  }
+};
+
+using ModuleArgs = std::map<std::string, Value>;
+using ModuleFn = std::function<ModuleOutcome(const ModuleArgs &, ModuleCallContext &)>;
+
+/// One callable module member.
+struct ModuleMember {
+  ModuleFn Fn;
+  /// Queries are executed eagerly before space conversion (Section IV-C)
+  /// and may run during extraction; transformations may not.
+  bool IsQuery = false;
+};
+
+/// All module collections known to the system.
+class ModuleRegistry {
+public:
+  /// Builds the standard registry with the four collections of the paper.
+  static ModuleRegistry standard();
+
+  /// Registers (or replaces) a member.
+  void add(const std::string &Module, const std::string &Member,
+           ModuleMember M);
+
+  /// Looks up Module.Member; null when unknown.
+  const ModuleMember *find(const std::string &Module,
+                           const std::string &Member) const;
+
+  /// True when the collection name exists at all.
+  bool hasModule(const std::string &Module) const {
+    return Collections.count(Module) != 0;
+  }
+
+private:
+  std::map<std::string, std::map<std::string, ModuleMember>> Collections;
+};
+
+} // namespace lang
+} // namespace locus
+
+#endif // LOCUS_LOCUS_MODULES_H

@@ -1,0 +1,396 @@
+//===- Optimizer.cpp - Optimizations on Locus programs -------------------------===//
+
+#include "src/locus/Optimizer.h"
+
+#include <map>
+#include <set>
+
+namespace locus {
+namespace lang {
+
+namespace {
+
+/// Optimization context for one CodeReg body.
+class BodyOptimizer {
+public:
+  BodyOptimizer(const ModuleRegistry &Registry, cir::Block *Region,
+                cir::Program *Target, transform::TransformContext *TCtx,
+                OptimizeStats &Stats)
+      : Registry(Registry), Region(Region), Target(Target), TCtx(TCtx),
+        Stats(Stats) {}
+
+  void optimizeBlock(LBlock &Block) {
+    std::vector<LStmtPtr> Out;
+    for (LStmtPtr &S : Block.Stmts) {
+      if (!S)
+        continue;
+      optimizeStmt(S, Out);
+    }
+    Block.Stmts = std::move(Out);
+  }
+
+private:
+  /// Collects every assignment target in a subtree (for invalidation).
+  static void collectTargets(const LBlock &Block, std::set<std::string> &Out) {
+    for (const LStmtPtr &S : Block.Stmts) {
+      if (!S)
+        continue;
+      for (const std::string &T : S->Targets)
+        Out.insert(T);
+      for (const LBlock &B : S->Blocks)
+        collectTargets(B, Out);
+      collectTargets(S->ElseBlock, Out);
+      if (S->ForInit)
+        for (const std::string &T : S->ForInit->Targets)
+          Out.insert(T);
+      if (S->ForStep)
+        for (const std::string &T : S->ForStep->Targets)
+          Out.insert(T);
+    }
+  }
+
+  void invalidateAssigned(const LBlock &Block) {
+    std::set<std::string> Targets;
+    collectTargets(Block, Targets);
+    for (const std::string &T : Targets)
+      Env.erase(T);
+  }
+
+  /// True when \p V is a plain literal we can propagate.
+  static bool isLiteral(const Value &V) {
+    switch (V.kind()) {
+    case Value::Kind::None:
+    case Value::Kind::Int:
+    case Value::Kind::Float:
+    case Value::Kind::String:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  /// Tries to fold \p E to a literal; rewrites subexpressions in place.
+  /// Returns the literal when fully folded.
+  std::optional<Value> foldExpr(LExprPtr &E) {
+    if (!E)
+      return std::nullopt;
+    switch (E->Kind) {
+    case LExprKind::Lit:
+      if (isLiteral(E->Literal))
+        return E->Literal;
+      return std::nullopt;
+    case LExprKind::Name: {
+      auto It = Env.find(E->Name);
+      if (It == Env.end())
+        return std::nullopt;
+      replaceWithLiteral(E, It->second);
+      ++Stats.ConstantsFolded;
+      return It->second;
+    }
+    case LExprKind::Binary: {
+      std::optional<Value> L = foldExpr(E->Lhs);
+      std::optional<Value> R = foldExpr(E->Rhs);
+      if (!L || !R)
+        return std::nullopt;
+      Expected<Value> V = Value::none();
+      const std::string &Op = E->Op;
+      if (Op == "+")
+        V = valueAdd(*L, *R);
+      else if (Op == "-")
+        V = valueSub(*L, *R);
+      else if (Op == "*")
+        V = valueMul(*L, *R);
+      else if (Op == "/")
+        V = valueDiv(*L, *R);
+      else if (Op == "%")
+        V = valueMod(*L, *R);
+      else if (Op == "**")
+        V = valuePow(*L, *R);
+      else if (Op == "&&")
+        return foldLogic(E, *L, *R, /*IsAnd=*/true);
+      else if (Op == "||")
+        return foldLogic(E, *L, *R, /*IsAnd=*/false);
+      else
+        V = valueCompare(Op, *L, *R);
+      if (!V.ok() || !isLiteral(*V))
+        return std::nullopt;
+      replaceWithLiteral(E, *V);
+      ++Stats.ConstantsFolded;
+      return *V;
+    }
+    case LExprKind::Unary: {
+      std::optional<Value> L = foldExpr(E->Lhs);
+      if (!L)
+        return std::nullopt;
+      Value V;
+      if (E->Op == "-") {
+        if (L->isInt())
+          V = Value(-L->asInt());
+        else if (L->isFloat())
+          V = Value(-L->asFloat());
+        else
+          return std::nullopt;
+      } else {
+        V = Value::boolean(!L->truthy());
+      }
+      replaceWithLiteral(E, V);
+      ++Stats.ConstantsFolded;
+      return V;
+    }
+    case LExprKind::Call: {
+      // Query pre-execution: Module.Member(...) with literal arguments.
+      if (Region && E->Base && E->Base->Kind == LExprKind::Attr &&
+          E->Base->Base && E->Base->Base->Kind == LExprKind::Name) {
+        const ModuleMember *M =
+            Registry.find(E->Base->Base->Name, E->Base->Name);
+        if (M && M->IsQuery) {
+          ModuleArgs Args;
+          bool AllLiteral = true;
+          for (size_t I = 0; I < E->Args.size(); ++I) {
+            std::optional<Value> V = foldExpr(E->Args[I].Expr);
+            if (!V) {
+              AllLiteral = false;
+              break;
+            }
+            Args[E->Args[I].Keyword.empty() ? "arg" + std::to_string(I)
+                                            : E->Args[I].Keyword] = *V;
+          }
+          if (AllLiteral) {
+            ModuleCallContext Ctx{Region, Target, TCtx};
+            ModuleOutcome O = M->Fn(Args, Ctx);
+            if (O.Result.applied() && isLiteral(O.Ret)) {
+              replaceWithLiteral(E, O.Ret);
+              ++Stats.QueriesSubstituted;
+              return O.Ret;
+            }
+          }
+          return std::nullopt;
+        }
+      }
+      // Other calls: fold the arguments only.
+      for (LArg &A : E->Args)
+        foldExpr(A.Expr);
+      return std::nullopt;
+    }
+    case LExprKind::Index: {
+      foldExpr(E->Base);
+      foldExpr(E->Sub);
+      return std::nullopt;
+    }
+    case LExprKind::ListMaker:
+    case LExprKind::TupleMaker:
+      for (LExprPtr &I : E->Items)
+        foldExpr(I);
+      return std::nullopt;
+    case LExprKind::OrExpr:
+      for (LExprPtr &I : E->Items)
+        foldExpr(I);
+      return std::nullopt;
+    case LExprKind::Range:
+      foldExpr(E->RangeLo);
+      foldExpr(E->RangeHi);
+      if (E->RangeStep)
+        foldExpr(E->RangeStep);
+      return std::nullopt;
+    case LExprKind::SearchCall:
+      for (LArg &A : E->Args)
+        foldExpr(A.Expr);
+      return std::nullopt;
+    case LExprKind::DictMaker:
+      return std::nullopt;
+    case LExprKind::Attr:
+      return std::nullopt;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<Value> foldLogic(LExprPtr &E, const Value &L, const Value &R,
+                                 bool IsAnd) {
+    Value V = Value::boolean(IsAnd ? (L.truthy() && R.truthy())
+                                   : (L.truthy() || R.truthy()));
+    replaceWithLiteral(E, V);
+    ++Stats.ConstantsFolded;
+    return V;
+  }
+
+  void replaceWithLiteral(LExprPtr &E, const Value &V) {
+    auto Lit = std::make_unique<LExpr>();
+    Lit->Kind = LExprKind::Lit;
+    Lit->NodeId = E->NodeId;
+    Lit->Line = E->Line;
+    Lit->Literal = V;
+    E = std::move(Lit);
+  }
+
+  static int countStmts(const LBlock &Block) {
+    int N = 0;
+    for (const LStmtPtr &S : Block.Stmts) {
+      if (!S)
+        continue;
+      ++N;
+      for (const LBlock &B : S->Blocks)
+        N += countStmts(B);
+      N += countStmts(S->ElseBlock);
+    }
+    return N;
+  }
+
+  void optimizeStmt(LStmtPtr &S, std::vector<LStmtPtr> &Out) {
+    switch (S->Kind) {
+    case LStmtKind::Assign: {
+      std::optional<Value> V = foldExpr(S->Rhs);
+      if (V && S->Targets.size() == 1)
+        Env[S->Targets[0]] = *V;
+      else
+        for (const std::string &T : S->Targets)
+          Env.erase(T);
+      Out.push_back(std::move(S));
+      return;
+    }
+    case LStmtKind::If: {
+      // Fold conditions in order; a constant-true one replaces the whole
+      // statement by its branch, constant-false arms are dropped.
+      std::vector<LExprPtr> Conds;
+      std::vector<LBlock> Blocks;
+      for (size_t I = 0; I < S->Conds.size(); ++I) {
+        std::optional<Value> C = foldExpr(S->Conds[I]);
+        if (C && !C->truthy()) {
+          Stats.StmtsRemoved += countStmts(S->Blocks[I]);
+          ++Stats.BranchesPruned;
+          continue; // dead arm
+        }
+        if (C && C->truthy()) {
+          if (Conds.empty()) {
+            // Unconditionally taken: inline the branch.
+            ++Stats.BranchesPruned;
+            for (size_t J = I + 1; J < S->Conds.size(); ++J)
+              Stats.StmtsRemoved += countStmts(S->Blocks[J]);
+            if (S->HasElse)
+              Stats.StmtsRemoved += countStmts(S->ElseBlock);
+            optimizeBlock(S->Blocks[I]);
+            for (LStmtPtr &Sub : S->Blocks[I].Stmts)
+              Out.push_back(std::move(Sub));
+            return;
+          }
+          // Becomes the else of the surviving arms.
+          S->ElseBlock = std::move(S->Blocks[I]);
+          S->HasElse = true;
+          for (size_t J = I + 1; J < S->Conds.size(); ++J)
+            Stats.StmtsRemoved += countStmts(S->Blocks[J]);
+          break;
+        }
+        Conds.push_back(std::move(S->Conds[I]));
+        Blocks.push_back(std::move(S->Blocks[I]));
+      }
+      if (Conds.empty()) {
+        // Every arm was dropped; only the else (if any) survives.
+        if (S->HasElse) {
+          optimizeBlock(S->ElseBlock);
+          for (LStmtPtr &Sub : S->ElseBlock.Stmts)
+            Out.push_back(std::move(Sub));
+        }
+        return;
+      }
+      S->Conds = std::move(Conds);
+      S->Blocks = std::move(Blocks);
+      // Non-constant branches: optimize each with an isolated environment.
+      std::map<std::string, Value> Saved = Env;
+      for (LBlock &B : S->Blocks) {
+        Env = Saved;
+        optimizeBlock(B);
+      }
+      if (S->HasElse) {
+        Env = Saved;
+        optimizeBlock(S->ElseBlock);
+      }
+      Env = Saved;
+      invalidateAssigned(S->Blocks[0]);
+      for (size_t I = 1; I < S->Blocks.size(); ++I)
+        invalidateAssigned(S->Blocks[I]);
+      if (S->HasElse)
+        invalidateAssigned(S->ElseBlock);
+      Out.push_back(std::move(S));
+      return;
+    }
+    case LStmtKind::While:
+    case LStmtKind::For: {
+      // Loop bodies re-execute: invalidate everything they assign, then
+      // fold inside with that reduced environment.
+      invalidateAssigned(S->Blocks[0]);
+      if (S->ForInit)
+        for (const std::string &T : S->ForInit->Targets)
+          Env.erase(T);
+      foldExpr(S->Conds[0]);
+      std::map<std::string, Value> Saved = Env;
+      optimizeBlock(S->Blocks[0]);
+      Env = Saved;
+      Out.push_back(std::move(S));
+      return;
+    }
+    case LStmtKind::OrBlocks: {
+      std::map<std::string, Value> Saved = Env;
+      for (LBlock &B : S->Blocks) {
+        Env = Saved;
+        optimizeBlock(B);
+      }
+      Env = Saved;
+      for (LBlock &B : S->Blocks)
+        invalidateAssigned(B);
+      Out.push_back(std::move(S));
+      return;
+    }
+    case LStmtKind::Block:
+      optimizeBlock(S->Blocks[0]);
+      Out.push_back(std::move(S));
+      return;
+    case LStmtKind::ExprStmt:
+    case LStmtKind::Return:
+    case LStmtKind::Print:
+      foldExpr(S->Expr);
+      Out.push_back(std::move(S));
+      return;
+    }
+  }
+
+  const ModuleRegistry &Registry;
+  cir::Block *Region;
+  cir::Program *Target;
+  transform::TransformContext *TCtx;
+  OptimizeStats &Stats;
+  std::map<std::string, Value> Env;
+};
+
+} // namespace
+
+std::unique_ptr<LocusProgram>
+optimizeLocusProgram(const LocusProgram &Prog, cir::Program &Target,
+                     const ModuleRegistry &Registry,
+                     transform::TransformContext &TCtx,
+                     OptimizeStats *Stats) {
+  std::unique_ptr<LocusProgram> Out = Prog.clone();
+  OptimizeStats Local;
+  OptimizeStats &S = Stats ? *Stats : Local;
+
+  // Global statements (no region context, no query execution).
+  {
+    BodyOptimizer Opt(Registry, nullptr, &Target, &TCtx, S);
+    Opt.optimizeBlock(Out->GlobalStmts);
+  }
+  // OptSeq/Query/def bodies: folding only (no region to query against).
+  for (auto *Group : {&Out->OptSeqs, &Out->Queries, &Out->Defs})
+    for (LFunction &F : *Group) {
+      BodyOptimizer Opt(Registry, nullptr, &Target, &TCtx, S);
+      Opt.optimizeBlock(F.Body);
+    }
+  // CodeReg bodies with query pre-execution against the first region.
+  for (auto &[Name, Body] : Out->CodeRegs) {
+    std::vector<cir::Block *> Regions = Target.findRegions(Name);
+    cir::Block *Region = Regions.empty() ? nullptr : Regions[0];
+    BodyOptimizer Opt(Registry, Region, &Target, &TCtx, S);
+    Opt.optimizeBlock(Body);
+  }
+  return Out;
+}
+
+} // namespace lang
+} // namespace locus

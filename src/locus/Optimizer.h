@@ -1,0 +1,50 @@
+//===- Optimizer.h - Optimizations on Locus programs ------------*- C++ -*-===//
+///
+/// \file
+/// Section IV-C: optimizations applied to the Locus program itself to cut
+/// the system's execution time — in the search workflow the direct program
+/// is re-interpreted for every variant evaluated, so shrinking it pays off
+/// on every assessment. The pass performs:
+///
+///  - Query pre-execution: deterministic Query operations (LoopNestDepth,
+///    IsPerfectLoopNest, IsDepAvailable, ...) run once against the code
+///    region and their calls are replaced by literal results.
+///  - Constant propagation and folding over straight-line assignments.
+///  - Dead-code elimination: conditionals with now-constant conditions are
+///    replaced by the taken branch, removing entire sub-spaces (the paper's
+///    example: nests of depth 1 drop every construct guarded by depth > 1).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_LOCUS_OPTIMIZER_H
+#define LOCUS_LOCUS_OPTIMIZER_H
+
+#include "src/cir/Ast.h"
+#include "src/locus/LocusAst.h"
+#include "src/locus/Modules.h"
+#include "src/transform/Transform.h"
+
+#include <memory>
+
+namespace locus {
+namespace lang {
+
+struct OptimizeStats {
+  int QueriesSubstituted = 0;
+  int ConstantsFolded = 0;
+  int BranchesPruned = 0;
+  int StmtsRemoved = 0;
+};
+
+/// Optimizes \p Prog against the regions of \p Target. Queries are executed
+/// on the first region matching each CodeReg (they are assumed deterministic
+/// throughout the search, per the paper). Returns the optimized clone.
+std::unique_ptr<LocusProgram>
+optimizeLocusProgram(const LocusProgram &Prog, cir::Program &Target,
+                     const ModuleRegistry &Registry,
+                     transform::TransformContext &TCtx,
+                     OptimizeStats *Stats = nullptr);
+
+} // namespace lang
+} // namespace locus
+
+#endif // LOCUS_LOCUS_OPTIMIZER_H

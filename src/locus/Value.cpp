@@ -1,0 +1,369 @@
+//===- Value.cpp - Locus dynamic values ---------------------------------------===//
+
+#include "src/locus/Value.h"
+
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace locus {
+namespace lang {
+
+Value Value::tuple(std::vector<Value> Items) {
+  Value V;
+  auto Box = std::make_shared<TupleBox>();
+  Box->Items = std::move(Items);
+  V.Data = TupleRef(std::move(Box));
+  return V;
+}
+
+Value::Kind Value::kind() const {
+  switch (Data.index()) {
+  case 0:
+    return Kind::None;
+  case 1:
+    return Kind::Int;
+  case 2:
+    return Kind::Float;
+  case 3:
+    return Kind::String;
+  case 4:
+    return Kind::List;
+  case 5:
+    return Kind::Tuple;
+  case 6:
+    return Kind::Dict;
+  case 7:
+    return Kind::Param;
+  }
+  return Kind::None;
+}
+
+const std::string &Value::paramId() const {
+  assert(isParam() && "paramId on non-param");
+  return std::get<ParamBox>(Data).Id;
+}
+
+bool Value::containsParam() const {
+  switch (kind()) {
+  case Kind::Param:
+    return true;
+  case Kind::List:
+    for (const Value &V : *asList())
+      if (V.containsParam())
+        return true;
+    return false;
+  case Kind::Tuple:
+    for (const Value &V : asTuple())
+      if (V.containsParam())
+        return true;
+    return false;
+  case Kind::Dict:
+    for (const auto &[K, V] : *asDict()) {
+      (void)K;
+      if (V.containsParam())
+        return true;
+    }
+    return false;
+  default:
+    return false;
+  }
+}
+
+int64_t Value::asInt() const {
+  if (const auto *I = std::get_if<int64_t>(&Data))
+    return *I;
+  if (const auto *D = std::get_if<double>(&Data))
+    return static_cast<int64_t>(*D);
+  assert(false && "asInt on non-number");
+  return 0;
+}
+
+double Value::asFloat() const {
+  if (const auto *I = std::get_if<int64_t>(&Data))
+    return static_cast<double>(*I);
+  if (const auto *D = std::get_if<double>(&Data))
+    return *D;
+  assert(false && "asFloat on non-number");
+  return 0;
+}
+
+const std::string &Value::asString() const {
+  assert(isString() && "asString on non-string");
+  return std::get<std::string>(Data);
+}
+
+ListRef Value::asList() const {
+  assert(isList() && "asList on non-list");
+  return std::get<ListRef>(Data);
+}
+
+const std::vector<Value> &Value::asTuple() const {
+  assert(isTuple() && "asTuple on non-tuple");
+  return std::get<TupleRef>(Data)->Items;
+}
+
+DictRef Value::asDict() const {
+  assert(isDict() && "asDict on non-dict");
+  return std::get<DictRef>(Data);
+}
+
+bool Value::truthy() const {
+  switch (kind()) {
+  case Kind::None:
+    return false;
+  case Kind::Int:
+    return std::get<int64_t>(Data) != 0;
+  case Kind::Float:
+    return std::get<double>(Data) != 0.0;
+  case Kind::String:
+    return !std::get<std::string>(Data).empty();
+  case Kind::List:
+    return !asList()->empty();
+  case Kind::Tuple:
+    return !asTuple().empty();
+  case Kind::Dict:
+    return !asDict()->empty();
+  case Kind::Param:
+    return true; // interpreters must test isParam() before truthiness
+  }
+  return false;
+}
+
+bool Value::equals(const Value &Other) const {
+  if (isNumber() && Other.isNumber())
+    return asFloat() == Other.asFloat();
+  if (kind() != Other.kind())
+    return false;
+  switch (kind()) {
+  case Kind::None:
+    return true;
+  case Kind::String:
+    return asString() == Other.asString();
+  case Kind::List: {
+    const auto &A = *asList();
+    const auto &B = *Other.asList();
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!A[I].equals(B[I]))
+        return false;
+    return true;
+  }
+  case Kind::Tuple: {
+    const auto &A = asTuple();
+    const auto &B = Other.asTuple();
+    if (A.size() != B.size())
+      return false;
+    for (size_t I = 0; I < A.size(); ++I)
+      if (!A[I].equals(B[I]))
+        return false;
+    return true;
+  }
+  case Kind::Dict: {
+    const auto &A = *asDict();
+    const auto &B = *Other.asDict();
+    if (A.size() != B.size())
+      return false;
+    for (const auto &[K, V] : A) {
+      auto It = B.find(K);
+      if (It == B.end() || !V.equals(It->second))
+        return false;
+    }
+    return true;
+  }
+  default:
+    return false;
+  }
+}
+
+std::string Value::str() const {
+  std::ostringstream Out;
+  switch (kind()) {
+  case Kind::None:
+    return "None";
+  case Kind::Int:
+    Out << std::get<int64_t>(Data);
+    return Out.str();
+  case Kind::Float:
+    Out << std::get<double>(Data);
+    return Out.str();
+  case Kind::String:
+    return std::get<std::string>(Data);
+  case Kind::List: {
+    Out << '[';
+    const auto &Items = *asList();
+    for (size_t I = 0; I < Items.size(); ++I)
+      Out << (I ? ", " : "") << Items[I].str();
+    Out << ']';
+    return Out.str();
+  }
+  case Kind::Tuple: {
+    Out << '(';
+    const auto &Items = asTuple();
+    for (size_t I = 0; I < Items.size(); ++I)
+      Out << (I ? ", " : "") << Items[I].str();
+    Out << ')';
+    return Out.str();
+  }
+  case Kind::Dict: {
+    Out << '{';
+    bool First = true;
+    for (const auto &[K, V] : *asDict()) {
+      if (!First)
+        Out << ", ";
+      First = false;
+      Out << K << ": " << V.str();
+    }
+    Out << '}';
+    return Out.str();
+  }
+  case Kind::Param:
+    return "<search:" + std::get<ParamBox>(Data).Id + ">";
+  }
+  return "";
+}
+
+namespace {
+
+bool bothNumbers(const Value &A, const Value &B) {
+  return A.isNumber() && B.isNumber();
+}
+
+bool anyFloat(const Value &A, const Value &B) {
+  return A.isFloat() || B.isFloat();
+}
+
+} // namespace
+
+Expected<Value> valueAdd(const Value &A, const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (bothNumbers(A, B)) {
+    if (anyFloat(A, B))
+      return Value(A.asFloat() + B.asFloat());
+    return Value(A.asInt() + B.asInt());
+  }
+  if (A.isString()) {
+    // String concatenation coerces the right operand, as in the paper's
+    // examples ("scatter_" + datalayout, "Tiling selected: " + type).
+    return Value(A.asString() + B.str());
+  }
+  if (A.isList() && B.isList()) {
+    std::vector<Value> Items = *A.asList();
+    for (const Value &V : *B.asList())
+      Items.push_back(V);
+    return Value::list(std::move(Items));
+  }
+  return Expected<Value>::error("cannot add " + A.str() + " and " + B.str());
+}
+
+Expected<Value> valueSub(const Value &A, const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (!bothNumbers(A, B))
+    return Expected<Value>::error("cannot subtract non-numbers");
+  if (anyFloat(A, B))
+    return Value(A.asFloat() - B.asFloat());
+  return Value(A.asInt() - B.asInt());
+}
+
+Expected<Value> valueMul(const Value &A, const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (!bothNumbers(A, B))
+    return Expected<Value>::error("cannot multiply non-numbers");
+  if (anyFloat(A, B))
+    return Value(A.asFloat() * B.asFloat());
+  return Value(A.asInt() * B.asInt());
+}
+
+Expected<Value> valueDiv(const Value &A, const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (!bothNumbers(A, B))
+    return Expected<Value>::error("cannot divide non-numbers");
+  if (anyFloat(A, B)) {
+    if (B.asFloat() == 0.0)
+      return Expected<Value>::error("division by zero");
+    return Value(A.asFloat() / B.asFloat());
+  }
+  if (B.asInt() == 0)
+    return Expected<Value>::error("division by zero");
+  return Value(A.asInt() / B.asInt());
+}
+
+Expected<Value> valueMod(const Value &A, const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (!A.isInt() || !B.isInt())
+    return Expected<Value>::error("modulo requires integers");
+  if (B.asInt() == 0)
+    return Expected<Value>::error("modulo by zero");
+  return Value(A.asInt() % B.asInt());
+}
+
+Expected<Value> valuePow(const Value &A, const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (!bothNumbers(A, B))
+    return Expected<Value>::error("power requires numbers");
+  if (!anyFloat(A, B) && B.asInt() >= 0) {
+    int64_t Result = 1;
+    for (int64_t I = 0; I < B.asInt(); ++I)
+      Result *= A.asInt();
+    return Value(Result);
+  }
+  return Value(std::pow(A.asFloat(), B.asFloat()));
+}
+
+Expected<Value> valueCompare(const std::string &Op, const Value &A,
+                             const Value &B) {
+  if (A.isParam() || A.containsParam())
+    return A;
+  if (B.isParam() || B.containsParam())
+    return B;
+  if (Op == "==")
+    return Value::boolean(A.equals(B));
+  if (Op == "!=")
+    return Value::boolean(!A.equals(B));
+  if (bothNumbers(A, B)) {
+    double X = A.asFloat(), Y = B.asFloat();
+    if (Op == "<")
+      return Value::boolean(X < Y);
+    if (Op == "<=")
+      return Value::boolean(X <= Y);
+    if (Op == ">")
+      return Value::boolean(X > Y);
+    if (Op == ">=")
+      return Value::boolean(X >= Y);
+  }
+  if (A.isString() && B.isString()) {
+    int C = A.asString().compare(B.asString());
+    if (Op == "<")
+      return Value::boolean(C < 0);
+    if (Op == "<=")
+      return Value::boolean(C <= 0);
+    if (Op == ">")
+      return Value::boolean(C > 0);
+    if (Op == ">=")
+      return Value::boolean(C >= 0);
+  }
+  return Expected<Value>::error("cannot compare " + A.str() + " " + Op + " " +
+                                B.str());
+}
+
+} // namespace lang
+} // namespace locus

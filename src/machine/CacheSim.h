@@ -1,0 +1,98 @@
+//===- CacheSim.h - Multi-level cache simulator -----------------*- C++ -*-===//
+///
+/// \file
+/// A set-associative, LRU, multi-level cache hierarchy simulator. This is
+/// the performance substrate that replaces the paper's Xeon testbed: the
+/// evaluator feeds it every array access of a program variant, and the
+/// returned latencies make locality transformations (tiling, interchange,
+/// layout selection) measurably change a variant's cost, which is what the
+/// empirical search needs.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_MACHINE_CACHESIM_H
+#define LOCUS_MACHINE_CACHESIM_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace machine {
+
+/// Configuration of one cache level.
+struct CacheLevelConfig {
+  std::string Name;
+  uint64_t SizeBytes = 32 * 1024;
+  int Assoc = 8;
+  int LineBytes = 64;
+  int HitLatency = 4; ///< cycles
+};
+
+/// Whole-machine description.
+struct MachineConfig {
+  std::vector<CacheLevelConfig> Levels;
+  int MemLatency = 200;          ///< cycles for a miss in the last level
+  int Cores = 10;                ///< physical cores available to OpenMP
+  int VectorWidthDoubles = 4;    ///< AVX2: 4 doubles
+  double ArithCost = 1.0;        ///< cycles per scalar arithmetic op
+  double LoopOverhead = 2.0;     ///< cycles per loop iteration (inc+branch)
+  double ParallelSpawnOverhead = 3000.0; ///< cycles to fork/join a region
+  double DynamicChunkOverhead = 150.0;   ///< cycles to grab one dynamic chunk
+
+  /// The evaluation machine of the paper: 10-core Xeon E5-2660 v3
+  /// (32 KB L1d, 256 KB L2 private, 25 MB L3 shared).
+  static MachineConfig xeonE5v3();
+
+  /// The Xeon with caches scaled down by \p Factor. Benchmarks use this to
+  /// run the paper's experiments on reduced problem sizes while keeping the
+  /// same cache-pressure regime (working set : cache ratio).
+  static MachineConfig xeonE5v3Scaled(int Factor);
+
+  /// A small machine for fast unit tests (tiny caches so locality effects
+  /// show up at tiny problem sizes).
+  static MachineConfig tiny();
+};
+
+/// Per-level hit/miss counters.
+struct CacheLevelStats {
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// The cache hierarchy. Levels are checked in order; a miss in level i
+/// consults level i+1; a miss everywhere costs MemLatency. All levels are
+/// filled on the way back (inclusive hierarchy).
+class CacheSim {
+public:
+  explicit CacheSim(const MachineConfig &Config);
+
+  /// Simulates one access; returns its latency in cycles.
+  int access(uint64_t Address, bool IsWrite);
+
+  /// Drops all cached lines and statistics.
+  void reset();
+
+  const std::vector<CacheLevelStats> &stats() const { return Stats; }
+
+private:
+  struct Level {
+    int LineShift = 6;
+    uint64_t NumSets = 1;
+    int Assoc = 8;
+    int HitLatency = 4;
+    /// Tags, NumSets x Assoc; 0 means empty (tag values are offset by 1).
+    std::vector<uint64_t> Tags;
+    /// LRU stamps parallel to Tags.
+    std::vector<uint64_t> Stamps;
+  };
+
+  std::vector<Level> Levels;
+  std::vector<CacheLevelStats> Stats;
+  int MemLatency;
+  uint64_t Clock = 0;
+};
+
+} // namespace machine
+} // namespace locus
+
+#endif // LOCUS_MACHINE_CACHESIM_H

@@ -1,0 +1,112 @@
+//===- Search.h - Search module interface -----------------------*- C++ -*-===//
+///
+/// \file
+/// The search-module interface of Section IV-B and the built-in searchers.
+/// A search module receives the extracted Space and an Objective (evaluate a
+/// Point, smaller metric is better) and returns the best point found within
+/// a budget of assessments. Invalid points (dependent-range violations,
+/// illegal transformations) report Valid = false and the search moves on,
+/// exactly as the paper describes for OpenTuner.
+///
+/// Built-in searchers:
+///  - exhaustive: odometer enumeration (small spaces, ground truth in tests)
+///  - random: uniform sampling
+///  - hillclimb: greedy mutation with restarts
+///  - de: differential evolution on normalized coordinates
+///  - bandit: AUC credit-assignment ensemble of the above three move types,
+///    with tested-variant deduplication (the OpenTuner stand-in)
+///  - tpe: tree-structured Parzen estimator (the HyperOpt stand-in)
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_SEARCH_H
+#define LOCUS_SEARCH_SEARCH_H
+
+#include "src/search/Space.h"
+#include "src/support/Rng.h"
+
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string>
+
+namespace locus {
+namespace search {
+
+/// Evaluation callback: returns the metric of a point (lower is better) and
+/// sets Valid=false when the point does not produce a runnable variant.
+class Objective {
+public:
+  virtual ~Objective() = default;
+  virtual double evaluate(const Point &P, bool &Valid) = 0;
+};
+
+/// Convenience adapter over a lambda.
+class LambdaObjective : public Objective {
+public:
+  using Fn = std::function<double(const Point &, bool &)>;
+  explicit LambdaObjective(Fn F) : F(std::move(F)) {}
+  double evaluate(const Point &P, bool &Valid) override { return F(P, Valid); }
+
+private:
+  Fn F;
+};
+
+struct SearchOptions {
+  /// Maximum number of variant assessments (the paper's per-search budget,
+  /// e.g. 1,000 for DGEMM and 500 per extracted loop nest).
+  int MaxEvaluations = 100;
+  uint64_t Seed = 42;
+};
+
+struct EvalRecord {
+  Point P;
+  double Metric = 0;
+  bool Valid = false;
+};
+
+struct SearchResult {
+  bool Found = false;
+  Point Best;
+  double BestMetric = std::numeric_limits<double>::infinity();
+  int Evaluations = 0;       ///< distinct variants actually assessed
+  int InvalidPoints = 0;     ///< points rejected as invalid
+  int DuplicatesSkipped = 0; ///< proposals identical to evaluated variants
+  std::vector<EvalRecord> History;
+};
+
+/// A search module.
+class Searcher {
+public:
+  virtual ~Searcher() = default;
+  virtual std::string name() const = 0;
+  virtual SearchResult search(const Space &S, Objective &Obj,
+                              const SearchOptions &Opts) = 0;
+};
+
+std::unique_ptr<Searcher> makeExhaustiveSearcher();
+std::unique_ptr<Searcher> makeRandomSearcher();
+std::unique_ptr<Searcher> makeHillClimbSearcher();
+std::unique_ptr<Searcher> makeDifferentialEvolutionSearcher();
+std::unique_ptr<Searcher> makeBanditSearcher();
+std::unique_ptr<Searcher> makeTpeSearcher();
+
+/// Factory by name ("exhaustive", "random", "hillclimb", "de", "bandit",
+/// "opentuner" (alias of bandit), "tpe", "hyperopt" (alias of tpe)); null
+/// for unknown names.
+std::unique_ptr<Searcher> makeSearcher(const std::string &Name);
+
+/// Enumerates the candidate values of a parameter (used by the exhaustive
+/// searcher, mutation moves, and tests). Float ranges are discretized into
+/// 16 steps; permutations are not enumerated here.
+std::vector<PointValue> enumerateValues(const ParamDef &P);
+
+/// Samples a uniform random value for a parameter.
+PointValue sampleValue(const ParamDef &P, Rng &R);
+
+/// Samples a full random point.
+Point samplePoint(const Space &S, Rng &R);
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_SEARCH_H

@@ -1,0 +1,738 @@
+//===- Searchers.cpp - Built-in search modules --------------------------------===//
+
+#include "src/search/Search.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace locus {
+namespace search {
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Value enumeration / sampling
+//===----------------------------------------------------------------------===//
+
+std::vector<int64_t> pow2Values(int64_t Min, int64_t Max) {
+  std::vector<int64_t> Values;
+  int64_t V = 1;
+  while (V < Min)
+    V <<= 1;
+  for (; V <= Max; V <<= 1)
+    Values.push_back(V);
+  if (Values.empty())
+    Values.push_back(std::max<int64_t>(1, Min));
+  return Values;
+}
+
+std::vector<int64_t> logIntValues(int64_t Min, int64_t Max) {
+  // Geometric grid with ratio ~1.5, deduplicated.
+  std::vector<int64_t> Values;
+  double V = static_cast<double>(std::max<int64_t>(1, Min));
+  while (static_cast<int64_t>(V) <= Max) {
+    int64_t I = static_cast<int64_t>(V);
+    if (Values.empty() || Values.back() != I)
+      Values.push_back(I);
+    V *= 1.5;
+    if (V < static_cast<double>(Values.back()) + 1)
+      V = static_cast<double>(Values.back()) + 1;
+  }
+  if (Values.empty())
+    Values.push_back(Min);
+  return Values;
+}
+
+} // namespace
+
+std::vector<PointValue> enumerateValues(const ParamDef &P) {
+  std::vector<PointValue> Out;
+  switch (P.Kind) {
+  case ParamKind::Enum:
+    for (size_t I = 0; I < std::max<size_t>(1, P.Options.size()); ++I)
+      Out.push_back(static_cast<int64_t>(I));
+    return Out;
+  case ParamKind::Bool:
+    Out.push_back(static_cast<int64_t>(0));
+    Out.push_back(static_cast<int64_t>(1));
+    return Out;
+  case ParamKind::IntRange:
+    for (int64_t V = P.Min; V <= P.Max; ++V)
+      Out.push_back(V);
+    if (Out.empty())
+      Out.push_back(P.Min);
+    return Out;
+  case ParamKind::Pow2:
+    for (int64_t V : pow2Values(P.Min, P.Max))
+      Out.push_back(V);
+    return Out;
+  case ParamKind::LogInt:
+    for (int64_t V : logIntValues(P.Min, P.Max))
+      Out.push_back(V);
+    return Out;
+  case ParamKind::FloatRange:
+  case ParamKind::LogFloat: {
+    const int Steps = 16;
+    for (int I = 0; I < Steps; ++I) {
+      double T = static_cast<double>(I) / (Steps - 1);
+      if (P.Kind == ParamKind::LogFloat && P.FMin > 0) {
+        Out.push_back(P.FMin * std::pow(P.FMax / P.FMin, T));
+      } else {
+        Out.push_back(P.FMin + T * (P.FMax - P.FMin));
+      }
+    }
+    return Out;
+  }
+  case ParamKind::Permutation: {
+    // Enumerate permutations lexicographically (callers cap the count).
+    std::vector<int> Perm(static_cast<size_t>(P.PermSize));
+    for (int I = 0; I < P.PermSize; ++I)
+      Perm[static_cast<size_t>(I)] = I;
+    do {
+      Out.push_back(Perm);
+    } while (std::next_permutation(Perm.begin(), Perm.end()) &&
+             Out.size() < 5041);
+    return Out;
+  }
+  }
+  return Out;
+}
+
+PointValue sampleValue(const ParamDef &P, Rng &R) {
+  if (P.Kind == ParamKind::Permutation) {
+    std::vector<int> Perm(static_cast<size_t>(P.PermSize));
+    for (int I = 0; I < P.PermSize; ++I)
+      Perm[static_cast<size_t>(I)] = I;
+    R.shuffle(Perm);
+    return Perm;
+  }
+  if (P.Kind == ParamKind::FloatRange)
+    return P.FMin + R.uniform() * (P.FMax - P.FMin);
+  if (P.Kind == ParamKind::LogFloat && P.FMin > 0)
+    return P.FMin * std::pow(P.FMax / P.FMin, R.uniform());
+  std::vector<PointValue> Values = enumerateValues(P);
+  return Values[R.index(Values.size())];
+}
+
+Point samplePoint(const Space &S, Rng &R) {
+  Point P;
+  for (const ParamDef &Def : S.Params)
+    P.Values[Def.Id] = sampleValue(Def, R);
+  return P;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Shared evaluation driver with deduplication
+//===----------------------------------------------------------------------===//
+
+class EvalDriver {
+public:
+  EvalDriver(Objective &Obj, const SearchOptions &Opts, SearchResult &Result)
+      : Obj(Obj), Opts(Opts), Result(Result) {}
+
+  bool budgetLeft() const { return Result.Evaluations < Opts.MaxEvaluations; }
+
+  /// Evaluates a point unless it was already assessed; returns true when a
+  /// fresh evaluation happened. Metric/Valid describe the outcome either way.
+  bool evaluate(const Point &P, double &Metric, bool &Valid) {
+    std::string Key = P.key();
+    auto It = Seen.find(Key);
+    if (It != Seen.end()) {
+      ++Result.DuplicatesSkipped;
+      Metric = It->second.first;
+      Valid = It->second.second;
+      return false;
+    }
+    Valid = false;
+    Metric = Obj.evaluate(P, Valid);
+    ++Result.Evaluations;
+    Seen[Key] = {Metric, Valid};
+    if (!Valid) {
+      ++Result.InvalidPoints;
+      Metric = std::numeric_limits<double>::infinity();
+    }
+    Result.History.push_back(EvalRecord{P, Metric, Valid});
+    if (Valid && Metric < Result.BestMetric) {
+      Result.BestMetric = Metric;
+      Result.Best = P;
+      Result.Found = true;
+      Improved = true;
+    }
+    return true;
+  }
+
+  bool takeImproved() {
+    bool I = Improved;
+    Improved = false;
+    return I;
+  }
+
+private:
+  Objective &Obj;
+  const SearchOptions &Opts;
+  SearchResult &Result;
+  std::map<std::string, std::pair<double, bool>> Seen;
+  bool Improved = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Mutation move shared by hill climbing and the bandit ensemble
+//===----------------------------------------------------------------------===//
+
+Point mutate(const Space &S, const Point &Base, Rng &R) {
+  Point P = Base;
+  if (S.Params.empty())
+    return P;
+  const ParamDef &Def = S.Params[R.index(S.Params.size())];
+  auto &Slot = P.Values[Def.Id];
+  if (Def.Kind == ParamKind::Permutation) {
+    auto Perm = std::get<std::vector<int>>(Slot);
+    if (Perm.size() >= 2) {
+      size_t A = R.index(Perm.size());
+      size_t B = R.index(Perm.size());
+      std::swap(Perm[A], Perm[B]);
+    }
+    Slot = Perm;
+    return P;
+  }
+  if (Def.Kind == ParamKind::FloatRange || Def.Kind == ParamKind::LogFloat) {
+    double Cur = std::get<double>(Slot);
+    double Width = (Def.FMax - Def.FMin) * 0.15;
+    double Next = std::clamp(Cur + R.normal() * Width, Def.FMin, Def.FMax);
+    Slot = Next;
+    return P;
+  }
+  std::vector<PointValue> Values = enumerateValues(Def);
+  // Step to a neighboring value most of the time; jump occasionally.
+  int64_t Cur = std::get<int64_t>(Slot);
+  size_t CurIdx = 0;
+  for (size_t I = 0; I < Values.size(); ++I)
+    if (std::get<int64_t>(Values[I]) == Cur)
+      CurIdx = I;
+  if (Values.size() > 1 && R.chance(0.7)) {
+    size_t Next = CurIdx;
+    if (CurIdx == 0)
+      Next = 1;
+    else if (CurIdx + 1 >= Values.size())
+      Next = CurIdx - 1;
+    else
+      Next = R.chance(0.5) ? CurIdx - 1 : CurIdx + 1;
+    Slot = Values[Next];
+  } else {
+    Slot = Values[R.index(Values.size())];
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Exhaustive
+//===----------------------------------------------------------------------===//
+
+class ExhaustiveSearcher : public Searcher {
+public:
+  std::string name() const override { return "exhaustive"; }
+
+  SearchResult search(const Space &S, Objective &Obj,
+                      const SearchOptions &Opts) override {
+    SearchResult Result;
+    EvalDriver Driver(Obj, Opts, Result);
+    std::vector<std::vector<PointValue>> ValueLists;
+    for (const ParamDef &P : S.Params)
+      ValueLists.push_back(enumerateValues(P));
+
+    std::vector<size_t> Odometer(S.Params.size(), 0);
+    while (Driver.budgetLeft()) {
+      Point P;
+      for (size_t I = 0; I < S.Params.size(); ++I)
+        P.Values[S.Params[I].Id] = ValueLists[I][Odometer[I]];
+      double Metric;
+      bool Valid;
+      Driver.evaluate(P, Metric, Valid);
+      // Advance the odometer.
+      size_t I = 0;
+      for (; I < Odometer.size(); ++I) {
+        if (++Odometer[I] < ValueLists[I].size())
+          break;
+        Odometer[I] = 0;
+      }
+      if (I == Odometer.size())
+        break; // wrapped: the whole space is enumerated
+      if (Odometer.empty())
+        break;
+    }
+    return Result;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Random
+//===----------------------------------------------------------------------===//
+
+class RandomSearcher : public Searcher {
+public:
+  std::string name() const override { return "random"; }
+
+  SearchResult search(const Space &S, Objective &Obj,
+                      const SearchOptions &Opts) override {
+    SearchResult Result;
+    EvalDriver Driver(Obj, Opts, Result);
+    Rng R(Opts.Seed);
+    int Stale = 0;
+    while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
+      double Metric;
+      bool Valid;
+      if (Driver.evaluate(samplePoint(S, R), Metric, Valid))
+        Stale = 0;
+      else
+        ++Stale;
+    }
+    return Result;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Hill climbing with restarts
+//===----------------------------------------------------------------------===//
+
+class HillClimbSearcher : public Searcher {
+public:
+  std::string name() const override { return "hillclimb"; }
+
+  SearchResult search(const Space &S, Objective &Obj,
+                      const SearchOptions &Opts) override {
+    SearchResult Result;
+    EvalDriver Driver(Obj, Opts, Result);
+    Rng R(Opts.Seed);
+
+    Point Current = samplePoint(S, R);
+    double CurrentMetric;
+    bool Valid;
+    Driver.evaluate(Current, CurrentMetric, Valid);
+    int SinceImprovement = 0;
+    int Stale = 0;
+    while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
+      Point Next = mutate(S, Current, R);
+      double Metric;
+      bool NextValid;
+      bool Fresh = Driver.evaluate(Next, Metric, NextValid);
+      if (!Fresh)
+        ++Stale;
+      if (NextValid && (Metric < CurrentMetric || !Valid)) {
+        Current = Next;
+        CurrentMetric = Metric;
+        Valid = true;
+        SinceImprovement = 0;
+      } else if (++SinceImprovement > 20) {
+        // Restart from a fresh random point.
+        Current = samplePoint(S, R);
+        Driver.evaluate(Current, CurrentMetric, Valid);
+        SinceImprovement = 0;
+      }
+    }
+    return Result;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Differential evolution on normalized coordinates
+//===----------------------------------------------------------------------===//
+
+class DeSearcher : public Searcher {
+public:
+  std::string name() const override { return "de"; }
+
+  SearchResult search(const Space &S, Objective &Obj,
+                      const SearchOptions &Opts) override {
+    SearchResult Result;
+    EvalDriver Driver(Obj, Opts, Result);
+    Rng R(Opts.Seed);
+
+    const size_t PopSize = 10;
+    std::vector<Point> Pop;
+    std::vector<double> Fitness;
+    for (size_t I = 0; I < PopSize && Driver.budgetLeft(); ++I) {
+      Point P = samplePoint(S, R);
+      double Metric;
+      bool Valid;
+      Driver.evaluate(P, Metric, Valid);
+      Pop.push_back(std::move(P));
+      Fitness.push_back(Valid ? Metric
+                              : std::numeric_limits<double>::infinity());
+    }
+    if (Pop.size() < 4)
+      return Result;
+
+    int Stale = 0;
+    while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
+      for (size_t I = 0; I < Pop.size() && Driver.budgetLeft(); ++I) {
+        size_t A = R.index(Pop.size()), B = R.index(Pop.size()),
+               C = R.index(Pop.size());
+        Point Trial = combine(S, Pop[I], Pop[A], Pop[B], Pop[C], R);
+        double Metric;
+        bool Valid;
+        bool Fresh = Driver.evaluate(Trial, Metric, Valid);
+        if (!Fresh)
+          ++Stale;
+        else
+          Stale = 0;
+        if (Valid && Metric < Fitness[I]) {
+          Pop[I] = std::move(Trial);
+          Fitness[I] = Metric;
+        }
+      }
+    }
+    return Result;
+  }
+
+private:
+  /// Classic rand/1/bin on a normalized [0,1] coordinate per parameter.
+  Point combine(const Space &S, const Point &Target, const Point &A,
+                const Point &B, const Point &C, Rng &R) {
+    Point Trial = Target;
+    const double F = 0.6, CR = 0.8;
+    for (const ParamDef &Def : S.Params) {
+      if (!R.chance(CR))
+        continue;
+      if (Def.Kind == ParamKind::Permutation) {
+        Trial.Values[Def.Id] = sampleValue(Def, R);
+        continue;
+      }
+      double XA = norm(Def, A), XB = norm(Def, B), XC = norm(Def, C);
+      double X = std::clamp(XA + F * (XB - XC), 0.0, 1.0);
+      Trial.Values[Def.Id] = denorm(Def, X, R);
+    }
+    return Trial;
+  }
+
+  static double norm(const ParamDef &Def, const Point &P) {
+    const PointValue &V = P.Values.at(Def.Id);
+    if (Def.Kind == ParamKind::FloatRange || Def.Kind == ParamKind::LogFloat) {
+      double X = std::get<double>(V);
+      return Def.FMax > Def.FMin ? (X - Def.FMin) / (Def.FMax - Def.FMin) : 0;
+    }
+    std::vector<PointValue> Values = enumerateValues(Def);
+    int64_t X = std::get<int64_t>(V);
+    for (size_t I = 0; I < Values.size(); ++I)
+      if (std::get<int64_t>(Values[I]) == X)
+        return Values.size() > 1
+                   ? static_cast<double>(I) / (Values.size() - 1)
+                   : 0.0;
+    return 0;
+  }
+
+  static PointValue denorm(const ParamDef &Def, double X, Rng &R) {
+    (void)R;
+    if (Def.Kind == ParamKind::FloatRange || Def.Kind == ParamKind::LogFloat)
+      return Def.FMin + X * (Def.FMax - Def.FMin);
+    std::vector<PointValue> Values = enumerateValues(Def);
+    size_t Idx = static_cast<size_t>(
+        std::lround(X * static_cast<double>(Values.size() - 1)));
+    return Values[std::min(Idx, Values.size() - 1)];
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// AUC-bandit ensemble (the OpenTuner stand-in)
+//===----------------------------------------------------------------------===//
+
+class BanditSearcher : public Searcher {
+public:
+  std::string name() const override { return "bandit"; }
+
+  SearchResult search(const Space &S, Objective &Obj,
+                      const SearchOptions &Opts) override {
+    SearchResult Result;
+    EvalDriver Driver(Obj, Opts, Result);
+    Rng R(Opts.Seed);
+
+    // Move generators: random, greedy mutation of the best, and a
+    // crossover-style recombination of two elites.
+    const int NumArms = 3;
+    std::vector<std::vector<int>> Window(static_cast<size_t>(NumArms));
+    std::vector<int> Uses(static_cast<size_t>(NumArms), 0);
+    const size_t WindowCap = 50;
+    int T = 0;
+
+    std::vector<std::pair<double, Point>> Elites;
+
+    // Seed with the midpoint default configuration (as OpenTuner seeds
+    // sensible defaults) followed by random points.
+    {
+      Point Mid;
+      for (const ParamDef &Def : S.Params) {
+        std::vector<PointValue> Values = enumerateValues(Def);
+        Mid.Values[Def.Id] = Values[Values.size() / 2];
+      }
+      double Metric;
+      bool Valid;
+      Driver.evaluate(Mid, Metric, Valid);
+      if (Valid)
+        recordElite(Elites, Metric, Mid);
+    }
+    for (int I = 0; I < 4 && Driver.budgetLeft(); ++I) {
+      Point P = samplePoint(S, R);
+      double Metric;
+      bool Valid;
+      Driver.evaluate(P, Metric, Valid);
+      if (Valid)
+        recordElite(Elites, Metric, P);
+    }
+
+    int Stale = 0;
+    while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
+      ++T;
+      int Arm = pickArm(Window, Uses, T);
+      Point P;
+      if (Arm == 0 || Elites.empty()) {
+        P = samplePoint(S, R);
+      } else if (Arm == 1) {
+        P = mutate(S, Elites[R.index(Elites.size())].second, R);
+      } else {
+        const Point &A = Elites[R.index(Elites.size())].second;
+        const Point &B = Elites[R.index(Elites.size())].second;
+        P = crossover(S, A, B, R);
+      }
+      double Metric;
+      bool Valid;
+      bool Fresh = Driver.evaluate(P, Metric, Valid);
+      if (!Fresh) {
+        ++Stale;
+        continue; // the paper notes OpenTuner avoids re-assessing variants
+      }
+      Stale = 0;
+      bool NewBest = Driver.takeImproved();
+      auto &Hist = Window[static_cast<size_t>(Arm)];
+      Hist.push_back(NewBest ? 1 : 0);
+      if (Hist.size() > WindowCap)
+        Hist.erase(Hist.begin());
+      ++Uses[static_cast<size_t>(Arm)];
+      if (Valid)
+        recordElite(Elites, Metric, P);
+    }
+    return Result;
+  }
+
+private:
+  static void recordElite(std::vector<std::pair<double, Point>> &Elites,
+                          double Metric, const Point &P) {
+    Elites.emplace_back(Metric, P);
+    std::sort(Elites.begin(), Elites.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    if (Elites.size() > 8)
+      Elites.resize(8);
+  }
+
+  /// AUC credit: exponentially weighted recency of "produced a new best",
+  /// plus a UCB exploration bonus.
+  static int pickArm(const std::vector<std::vector<int>> &Window,
+                     const std::vector<int> &Uses, int T) {
+    int BestArm = 0;
+    double BestScore = -1;
+    for (size_t Arm = 0; Arm < Window.size(); ++Arm) {
+      double Auc = 0, Weight = 0;
+      const auto &Hist = Window[Arm];
+      for (size_t I = 0; I < Hist.size(); ++I) {
+        double W = static_cast<double>(I + 1);
+        Auc += W * Hist[I];
+        Weight += W;
+      }
+      double Exploit = Weight > 0 ? Auc / Weight : 0;
+      double Explore =
+          std::sqrt(2.0 * std::log(static_cast<double>(T + 1)) /
+                    (Uses[Arm] + 1));
+      double Score = Exploit + 0.3 * Explore;
+      if (Score > BestScore) {
+        BestScore = Score;
+        BestArm = static_cast<int>(Arm);
+      }
+    }
+    return BestArm;
+  }
+
+  static Point crossover(const Space &S, const Point &A, const Point &B,
+                         Rng &R) {
+    Point P = A;
+    for (const ParamDef &Def : S.Params)
+      if (R.chance(0.5))
+        P.Values[Def.Id] = B.Values.at(Def.Id);
+    return P;
+  }
+};
+
+//===----------------------------------------------------------------------===//
+// Tree-structured Parzen estimator (the HyperOpt stand-in)
+//===----------------------------------------------------------------------===//
+
+class TpeSearcher : public Searcher {
+public:
+  std::string name() const override { return "tpe"; }
+
+  SearchResult search(const Space &S, Objective &Obj,
+                      const SearchOptions &Opts) override {
+    SearchResult Result;
+    EvalDriver Driver(Obj, Opts, Result);
+    Rng R(Opts.Seed);
+
+    std::vector<std::pair<double, Point>> History;
+
+    const int Startup = std::min(10, std::max(3, Opts.MaxEvaluations / 10));
+    int Stale = 0;
+    while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
+      Point P;
+      if (static_cast<int>(History.size()) < Startup) {
+        P = samplePoint(S, R);
+      } else {
+        P = propose(S, History, R);
+      }
+      double Metric;
+      bool Valid;
+      bool Fresh = Driver.evaluate(P, Metric, Valid);
+      if (!Fresh) {
+        ++Stale;
+        continue;
+      }
+      Stale = 0;
+      if (Valid)
+        History.emplace_back(Metric, P);
+    }
+    return Result;
+  }
+
+private:
+  /// Splits history at the gamma quantile into good/bad sets and proposes
+  /// the candidate maximizing the density ratio l(x)/g(x), per parameter.
+  Point propose(const Space &S, std::vector<std::pair<double, Point>> History,
+                Rng &R) {
+    std::sort(History.begin(), History.end(),
+              [](const auto &A, const auto &B) { return A.first < B.first; });
+    size_t NGood = std::max<size_t>(1, History.size() / 4);
+
+    Point Best;
+    double BestScore = -std::numeric_limits<double>::infinity();
+    const int Candidates = 16;
+    for (int C = 0; C < Candidates; ++C) {
+      Point P;
+      double Score = 0;
+      for (const ParamDef &Def : S.Params) {
+        // Sample around a random good observation.
+        const Point &Anchor = History[R.index(NGood)].second;
+        PointValue V = perturb(Def, Anchor.Values.at(Def.Id), R);
+        Score += std::log(density(Def, V, History, 0, NGood) + 1e-9) -
+                 std::log(density(Def, V, History, NGood, History.size()) +
+                          1e-9);
+        P.Values[Def.Id] = std::move(V);
+      }
+      if (Score > BestScore) {
+        BestScore = Score;
+        Best = std::move(P);
+      }
+    }
+    return Best;
+  }
+
+  PointValue perturb(const ParamDef &Def, const PointValue &Anchor, Rng &R) {
+    if (Def.Kind == ParamKind::Permutation) {
+      auto Perm = std::get<std::vector<int>>(Anchor);
+      if (Perm.size() >= 2 && R.chance(0.5))
+        std::swap(Perm[R.index(Perm.size())], Perm[R.index(Perm.size())]);
+      return Perm;
+    }
+    if (Def.Kind == ParamKind::FloatRange || Def.Kind == ParamKind::LogFloat) {
+      double X = std::get<double>(Anchor);
+      double W = (Def.FMax - Def.FMin) * 0.2;
+      return std::clamp(X + R.normal() * W, Def.FMin, Def.FMax);
+    }
+    std::vector<PointValue> Values = enumerateValues(Def);
+    if (R.chance(0.35))
+      return Values[R.index(Values.size())];
+    int64_t X = std::get<int64_t>(Anchor);
+    size_t Idx = 0;
+    for (size_t I = 0; I < Values.size(); ++I)
+      if (std::get<int64_t>(Values[I]) == X)
+        Idx = I;
+    int64_t Offset = R.range(-1, 1);
+    int64_t NewIdx = std::clamp<int64_t>(static_cast<int64_t>(Idx) + Offset, 0,
+                                         static_cast<int64_t>(Values.size()) - 1);
+    return Values[static_cast<size_t>(NewIdx)];
+  }
+
+  /// Kernel density of a value within History[Begin, End).
+  double density(const ParamDef &Def, const PointValue &V,
+                 const std::vector<std::pair<double, Point>> &History,
+                 size_t Begin, size_t End) {
+    if (Begin >= End)
+      return 0;
+    double Sum = 0;
+    for (size_t I = Begin; I < End; ++I) {
+      const PointValue &O = History[I].second.Values.at(Def.Id);
+      if (Def.Kind == ParamKind::FloatRange ||
+          Def.Kind == ParamKind::LogFloat) {
+        double W = std::max(1e-9, (Def.FMax - Def.FMin) * 0.15);
+        double D = (std::get<double>(V) - std::get<double>(O)) / W;
+        Sum += std::exp(-0.5 * D * D);
+      } else if (Def.Kind == ParamKind::Permutation) {
+        Sum += std::get<std::vector<int>>(V) == std::get<std::vector<int>>(O)
+                   ? 1.0
+                   : 0.05;
+      } else {
+        std::vector<PointValue> Values = enumerateValues(Def);
+        double W = std::max(1.0, static_cast<double>(Values.size()) * 0.15);
+        auto IndexOf = [&](int64_t X) {
+          for (size_t J = 0; J < Values.size(); ++J)
+            if (std::get<int64_t>(Values[J]) == X)
+              return static_cast<double>(J);
+          return 0.0;
+        };
+        double D = (IndexOf(std::get<int64_t>(V)) -
+                    IndexOf(std::get<int64_t>(O))) /
+                   W;
+        Sum += std::exp(-0.5 * D * D);
+      }
+    }
+    return Sum / static_cast<double>(End - Begin);
+  }
+};
+
+} // namespace
+
+std::unique_ptr<Searcher> makeExhaustiveSearcher() {
+  return std::make_unique<ExhaustiveSearcher>();
+}
+std::unique_ptr<Searcher> makeRandomSearcher() {
+  return std::make_unique<RandomSearcher>();
+}
+std::unique_ptr<Searcher> makeHillClimbSearcher() {
+  return std::make_unique<HillClimbSearcher>();
+}
+std::unique_ptr<Searcher> makeDifferentialEvolutionSearcher() {
+  return std::make_unique<DeSearcher>();
+}
+std::unique_ptr<Searcher> makeBanditSearcher() {
+  return std::make_unique<BanditSearcher>();
+}
+std::unique_ptr<Searcher> makeTpeSearcher() {
+  return std::make_unique<TpeSearcher>();
+}
+
+std::unique_ptr<Searcher> makeSearcher(const std::string &Name) {
+  if (Name == "exhaustive")
+    return makeExhaustiveSearcher();
+  if (Name == "random")
+    return makeRandomSearcher();
+  if (Name == "hillclimb")
+    return makeHillClimbSearcher();
+  if (Name == "de")
+    return makeDifferentialEvolutionSearcher();
+  if (Name == "bandit" || Name == "opentuner")
+    return makeBanditSearcher();
+  if (Name == "tpe" || Name == "hyperopt")
+    return makeTpeSearcher();
+  return nullptr;
+}
+
+} // namespace search
+} // namespace locus

@@ -1,0 +1,97 @@
+//===- Space.h - Optimization search space ----------------------*- C++ -*-===//
+///
+/// \file
+/// The search-space representation every search module consumes. The Locus
+/// space extractor (convertOptUniverse in the paper's Section IV-B) converts
+/// OR blocks/statements, optional statements and the search data types
+/// (enum, integer, float, permutation, poweroftwo, loginteger, logfloat)
+/// into ParamDefs. Numeric parameters whose bounds reference other search
+/// variables carry DependsOn* links: the space is defined with the maximal
+/// bounds (computed by use-def bounds analysis) and points violating the
+/// dynamic constraint are invalidated at evaluation time, exactly as
+/// described for the OpenTuner integration.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_SPACE_H
+#define LOCUS_SEARCH_SPACE_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace locus {
+namespace search {
+
+enum class ParamKind {
+  Enum,        ///< one of a list of strings (also OR selectors)
+  Bool,        ///< optional statements
+  IntRange,    ///< integer(min..max)
+  Pow2,        ///< poweroftwo(min..max): values are the powers of two
+  LogInt,      ///< loginteger(min..max): log-spaced integer candidates
+  FloatRange,  ///< float(min..max)
+  LogFloat,    ///< logfloat(min..max)
+  Permutation, ///< permutation of 0..N-1
+};
+
+/// One dimension of the optimization space.
+struct ParamDef {
+  std::string Id;    ///< stable identity across extraction and execution
+  std::string Label; ///< human-readable name (the Locus variable name)
+  ParamKind Kind = ParamKind::Enum;
+
+  std::vector<std::string> Options; ///< Enum
+  int64_t Min = 0, Max = 0;         ///< integer kinds
+  double FMin = 0, FMax = 0;        ///< float kinds
+  int PermSize = 0;                 ///< Permutation
+
+  /// When set, the effective max/min of this parameter at a concrete point
+  /// is the value of the referenced parameter (dependent ranges).
+  std::string DependsOnMaxParam;
+  std::string DependsOnMinParam;
+
+  /// Number of distinct values (1 for empty/degenerate, saturates at
+  /// INT64_MAX). Float ranges report a nominal discretization of 1000.
+  uint64_t cardinality() const;
+};
+
+/// A concrete value assigned to one parameter.
+using PointValue = std::variant<int64_t, double, std::string, std::vector<int>>;
+
+/// A point in the space: every parameter pinned to a value.
+struct Point {
+  std::map<std::string, PointValue> Values;
+
+  int64_t getInt(const std::string &Id) const;
+  double getFloat(const std::string &Id) const;
+  const std::string &getString(const std::string &Id) const;
+  const std::vector<int> &getPerm(const std::string &Id) const;
+
+  /// Canonical text form, used for deduplicating evaluated variants.
+  std::string key() const;
+};
+
+/// The whole space.
+struct Space {
+  std::vector<ParamDef> Params;
+
+  const ParamDef *find(const std::string &Id) const;
+
+  /// Cross-product of all parameter cardinalities (saturating).
+  uint64_t fullSize() const;
+
+  /// Product over value parameters only (excluding OR selectors and
+  /// optional booleans) — the convention under which the paper reports the
+  /// 34,012,224-variant space of Fig. 7. Selector parameters carry Labels
+  /// beginning with "or:" / "opt:".
+  uint64_t valueSize() const;
+
+  /// Renders a human-readable summary.
+  std::string describe() const;
+};
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_SPACE_H

@@ -1,0 +1,98 @@
+//===- Error.h - Lightweight result/error types ---------------*- C++ -*-===//
+///
+/// \file
+/// Error handling primitives used across the Locus library. The library does
+/// not use C++ exceptions; fallible operations return Expected<T> or Status.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SUPPORT_ERROR_H
+#define LOCUS_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace locus {
+
+/// A failure description: a human-readable message.
+class Failure {
+public:
+  Failure() = default;
+  explicit Failure(std::string Message) : Message(std::move(Message)) {}
+
+  const std::string &message() const { return Message; }
+
+private:
+  std::string Message;
+};
+
+/// Success-or-error status for operations that return no value.
+class Status {
+public:
+  /// Constructs a success status.
+  Status() = default;
+
+  /// Constructs a failure status with a message.
+  static Status error(std::string Message) {
+    Status S;
+    S.Err = Failure(std::move(Message));
+    return S;
+  }
+
+  static Status success() { return Status(); }
+
+  bool ok() const { return !Err.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the error message; only valid when !ok().
+  const std::string &message() const {
+    assert(Err && "message() on a success Status");
+    return Err->message();
+  }
+
+private:
+  std::optional<Failure> Err;
+};
+
+/// A value-or-error wrapper, in the spirit of llvm::Expected but simplified
+/// (no mandatory-check semantics).
+template <typename T> class Expected {
+public:
+  Expected(T Value) : Value(std::move(Value)) {}
+  Expected(Failure Err) : Err(std::move(Err)) {}
+
+  /// Creates an error result from a message.
+  static Expected<T> error(std::string Message) {
+    return Expected<T>(Failure(std::move(Message)));
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &get() {
+    assert(Value && "get() on an error Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(Value && "get() on an error Expected");
+    return *Value;
+  }
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  const std::string &message() const {
+    assert(Err && "message() on a success Expected");
+    return Err->message();
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Failure> Err;
+};
+
+} // namespace locus
+
+#endif // LOCUS_SUPPORT_ERROR_H

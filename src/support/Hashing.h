@@ -1,0 +1,34 @@
+//===- Hashing.h - FNV-1a hashing utilities --------------------*- C++ -*-===//
+///
+/// \file
+/// Stable (cross-run, cross-platform) hashing used for code-region coherence
+/// checks and search-point deduplication.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SUPPORT_HASHING_H
+#define LOCUS_SUPPORT_HASHING_H
+
+#include <cstdint>
+#include <string_view>
+
+namespace locus {
+
+/// 64-bit FNV-1a over a byte sequence.
+inline uint64_t fnv1a(std::string_view Data, uint64_t Seed = 0xcbf29ce484222325ULL) {
+  uint64_t Hash = Seed;
+  for (unsigned char C : Data) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+/// Mixes an integer into an existing hash value.
+inline uint64_t hashCombine(uint64_t Hash, uint64_t Value) {
+  Hash ^= Value + 0x9e3779b97f4a7c15ULL + (Hash << 6) + (Hash >> 2);
+  return Hash;
+}
+
+} // namespace locus
+
+#endif // LOCUS_SUPPORT_HASHING_H

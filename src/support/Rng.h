@@ -1,0 +1,89 @@
+//===- Rng.h - Deterministic random number generation ----------*- C++ -*-===//
+///
+/// \file
+/// A small, fast, deterministic RNG (xoshiro256**) so search results are
+/// reproducible across platforms and standard-library implementations.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SUPPORT_RNG_H
+#define LOCUS_SUPPORT_RNG_H
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace locus {
+
+/// Deterministic pseudo-random generator with helpers for ranges, doubles,
+/// shuffles and categorical picks.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) { reseed(Seed); }
+
+  void reseed(uint64_t Seed) {
+    // SplitMix64 expansion of the seed into the xoshiro state.
+    uint64_t X = Seed;
+    for (auto &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Uniform integer in [Lo, Hi] inclusive.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<int64_t>(next() % Span);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return (next() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Approximate standard normal via sum of uniforms (Irwin-Hall).
+  double normal() {
+    double Sum = 0;
+    for (int I = 0; I < 12; ++I)
+      Sum += uniform();
+    return Sum - 6.0;
+  }
+
+  /// Bernoulli trial.
+  bool chance(double P) { return uniform() < P; }
+
+  /// Uniform index into a container of the given size.
+  size_t index(size_t Size) {
+    assert(Size > 0 && "index() into empty container");
+    return static_cast<size_t>(next() % Size);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T> void shuffle(std::vector<T> &Items) {
+    for (size_t I = Items.size(); I > 1; --I)
+      std::swap(Items[I - 1], Items[index(I)]);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+  uint64_t State[4] = {};
+};
+
+} // namespace locus
+
+#endif // LOCUS_SUPPORT_RNG_H

@@ -1,0 +1,34 @@
+//===- StringUtils.h - Small string helpers --------------------*- C++ -*-===//
+///
+/// \file
+/// String splitting, trimming and joining helpers shared by the front ends.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SUPPORT_STRINGUTILS_H
+#define LOCUS_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace locus {
+
+/// Splits \p Text on \p Sep; empty pieces are kept.
+std::vector<std::string> splitString(std::string_view Text, char Sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trimString(std::string_view Text);
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        std::string_view Sep);
+
+/// Returns true if \p Text begins with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+/// Returns true if \p Text ends with \p Suffix.
+bool endsWith(std::string_view Text, std::string_view Suffix);
+
+} // namespace locus
+
+#endif // LOCUS_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,98 @@
+//===- AltdescPragmas.cpp - Altdesc and pragma modules ----------------------===//
+
+#include "src/transform/AltdescPragmas.h"
+
+#include "src/cir/Parser.h"
+#include "src/cir/PathIndex.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace locus {
+namespace transform {
+
+using namespace cir;
+
+TransformResult applyAltdesc(Block &Region, const AltdescArgs &Args,
+                             const TransformContext &Ctx) {
+  // Resolve the snippet text: registry first, then the filesystem, then
+  // treat the string itself as inline code.
+  std::string Text;
+  auto It = Ctx.Snippets.find(Args.Source);
+  if (It != Ctx.Snippets.end()) {
+    Text = It->second;
+  } else {
+    std::ifstream File(Args.Source);
+    if (File) {
+      std::ostringstream Buf;
+      Buf << File.rdbuf();
+      Text = Buf.str();
+    } else {
+      Text = Args.Source;
+    }
+  }
+
+  Expected<std::vector<StmtPtr>> Snippet = parseStatements(Text);
+  if (!Snippet.ok())
+    return TransformResult::error("Altdesc snippet does not parse: " +
+                                  Snippet.message());
+
+  if (Args.StmtPath.empty()) {
+    Region.Stmts.clear();
+    for (auto &S : *Snippet)
+      Region.Stmts.push_back(std::move(S));
+    return TransformResult::success();
+  }
+
+  Expected<StmtLocation> Loc = resolvePath(Region, Args.StmtPath);
+  if (!Loc.ok())
+    return TransformResult::error(Loc.message());
+  // Replace the addressed statement with the snippet statements.
+  Block *Parent = Loc->Parent;
+  size_t Index = Loc->Index;
+  Parent->Stmts.erase(Parent->Stmts.begin() + static_cast<long>(Index));
+  for (size_t I = 0; I < Snippet->size(); ++I)
+    Parent->Stmts.insert(Parent->Stmts.begin() + static_cast<long>(Index + I),
+                         std::move((*Snippet)[I]));
+  return TransformResult::success();
+}
+
+TransformResult applyPragma(Block &Region, const PragmaArgs &Args,
+                            const TransformContext &Ctx) {
+  (void)Ctx;
+  if (Args.Text.empty())
+    return TransformResult::error("empty pragma text");
+  // Pragmas target loops; use the loop-wise path interpretation so paths
+  // keep resolving after LICM hoisted statements between nest levels.
+  Expected<ForStmt *> Loop = resolveLoopPathLoopwise(Region, Args.LoopPath);
+  if (!Loop.ok())
+    return TransformResult::error(Loop.message());
+  Stmt *S = *Loop;
+  for (const std::string &Existing : S->Pragmas)
+    if (Existing == Args.Text)
+      return TransformResult::noop("pragma already present");
+  S->Pragmas.push_back(Args.Text);
+  return TransformResult::success();
+}
+
+TransformResult applyOmpFor(Block &Region, const OmpForArgs &Args,
+                            const TransformContext &Ctx) {
+  if (!Args.Schedule.empty() && Args.Schedule != "static" &&
+      Args.Schedule != "dynamic")
+    return TransformResult::error("unsupported OpenMP schedule: " +
+                                  Args.Schedule);
+  std::string Text = "omp parallel for";
+  if (!Args.Schedule.empty()) {
+    Text += " schedule(" + Args.Schedule;
+    if (Args.Chunk > 0)
+      Text += "," + std::to_string(Args.Chunk);
+    Text += ")";
+  }
+  PragmaArgs P;
+  P.LoopPath = Args.LoopPath;
+  P.Text = Text;
+  return applyPragma(Region, P, Ctx);
+}
+
+} // namespace transform
+} // namespace locus

@@ -1,0 +1,59 @@
+//===- AltdescPragmas.h - Altdesc and pragma modules ------------*- C++ -*-===//
+///
+/// \file
+/// BuiltIn.Altdesc splices an external code snippet into a region (used by
+/// the Kripke experiment of Fig. 11 to insert per-layout address
+/// computations). The Pragma modules attach compiler pragmas: ivdep and
+/// vector always for vectorization, and omp parallel for with optional
+/// schedule/chunk for parallel execution.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_ALTDESCPRAGMAS_H
+#define LOCUS_TRANSFORM_ALTDESCPRAGMAS_H
+
+#include "src/transform/Transform.h"
+
+#include <cstdint>
+#include <string>
+
+namespace locus {
+namespace transform {
+
+struct AltdescArgs {
+  /// When non-empty, the path of the statement to replace; otherwise the
+  /// whole region body is replaced.
+  std::string StmtPath;
+  /// Snippet source: looked up in TransformContext::Snippets first; when
+  /// absent there, treated as inline MiniC statements.
+  std::string Source;
+};
+
+TransformResult applyAltdesc(cir::Block &Region, const AltdescArgs &Args,
+                             const TransformContext &Ctx);
+
+struct PragmaArgs {
+  std::string LoopPath = "0";
+  /// The pragma text to attach, e.g. "ivdep" or "omp parallel for".
+  std::string Text;
+};
+
+/// Attaches \p Args.Text as a pragma on the loop at the path.
+TransformResult applyPragma(cir::Block &Region, const PragmaArgs &Args,
+                            const TransformContext &Ctx);
+
+struct OmpForArgs {
+  std::string LoopPath = "0";
+  /// "static", "dynamic" or empty (compiler default).
+  std::string Schedule;
+  /// Chunk size; <= 0 means unspecified.
+  int64_t Chunk = 0;
+};
+
+/// Attaches "omp parallel for [schedule(...)]" to the loop at the path.
+TransformResult applyOmpFor(cir::Block &Region, const OmpForArgs &Args,
+                            const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_ALTDESCPRAGMAS_H

@@ -1,0 +1,202 @@
+//===- FusionDistribution.cpp - Loop fusion and distribution ----------------===//
+
+#include "src/transform/FusionDistribution.h"
+
+#include "src/analysis/Dependence.h"
+#include "src/cir/AstUtils.h"
+#include "src/cir/PathIndex.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace locus {
+namespace transform {
+
+using namespace cir;
+
+TransformResult applyFusion(Block &Region, const FusionArgs &Args,
+                            const TransformContext &Ctx) {
+  Expected<StmtLocation> Loc = resolvePath(Region, Args.LoopPath);
+  if (!Loc.ok())
+    return TransformResult::error(Loc.message());
+  auto *First = dyn_cast<ForStmt>(Loc->get());
+  if (!First)
+    return TransformResult::error("fusion path does not address a loop");
+  if (Loc->Index + 1 >= Loc->Parent->Stmts.size())
+    return TransformResult::error("no following sibling loop to fuse with");
+  auto *Second = dyn_cast<ForStmt>(Loc->Parent->Stmts[Loc->Index + 1].get());
+  if (!Second)
+    return TransformResult::error("fusion sibling is not a loop");
+
+  if (First->Var != Second->Var || First->Op != Second->Op ||
+      First->Step != Second->Step || !exprEquals(*First->Init, *Second->Init) ||
+      !exprEquals(*First->Bound, *Second->Bound))
+    return TransformResult::illegal("loop headers differ; cannot fuse");
+
+  // Build the fused candidate and test it: any dependence from a statement
+  // of the second body to a statement of the first body reverses the
+  // original execution order and prevents fusion.
+  auto Fused = std::unique_ptr<ForStmt>(cast<ForStmt>(First->clone().release()));
+  size_t FirstLeafCount = 0;
+  forEachStmt(*First, [&](Stmt &S) {
+    if (isa<AssignStmt>(&S) || isa<DeclStmt>(&S) || isa<CallStmt>(&S))
+      ++FirstLeafCount;
+  });
+  for (const auto &S : Second->Body->Stmts)
+    Fused->Body->Stmts.push_back(S->clone());
+
+  std::optional<analysis::DependenceInfo> Deps =
+      analysis::DependenceInfo::compute(*Fused);
+  if (!Deps) {
+    if (Ctx.RequireDeps)
+      return TransformResult::illegal("dependences unavailable; refusing fusion");
+  } else {
+    for (const analysis::Dependence &D : Deps->deps())
+      if (static_cast<size_t>(D.SrcStmt) >= FirstLeafCount &&
+          static_cast<size_t>(D.DstStmt) < FirstLeafCount)
+        return TransformResult::illegal(
+            "fusion-preventing dependence on " + D.Array);
+  }
+
+  // Commit: splice second body into the first, drop the second loop.
+  for (auto &S : Second->Body->Stmts)
+    First->Body->Stmts.push_back(std::move(S));
+  Loc->Parent->Stmts.erase(Loc->Parent->Stmts.begin() +
+                           static_cast<long>(Loc->Index + 1));
+  return TransformResult::success();
+}
+
+namespace {
+
+/// Tarjan strongly connected components over a small adjacency list.
+/// Returns a component id per node; ids are not ordered.
+std::vector<int> tarjanScc(const std::vector<std::vector<int>> &Graph,
+                           int &ComponentCount) {
+  size_t N = Graph.size();
+  std::vector<int> Index(N, -1), Low(N, 0), Component(N, -1);
+  std::vector<bool> OnStack(N, false);
+  std::vector<int> Stack;
+  int NextIndex = 0;
+  ComponentCount = 0;
+
+  std::function<void(int)> Strongconnect = [&](int V) {
+    Index[static_cast<size_t>(V)] = Low[static_cast<size_t>(V)] = NextIndex++;
+    Stack.push_back(V);
+    OnStack[static_cast<size_t>(V)] = true;
+    for (int W : Graph[static_cast<size_t>(V)]) {
+      if (Index[static_cast<size_t>(W)] < 0) {
+        Strongconnect(W);
+        Low[static_cast<size_t>(V)] =
+            std::min(Low[static_cast<size_t>(V)], Low[static_cast<size_t>(W)]);
+      } else if (OnStack[static_cast<size_t>(W)]) {
+        Low[static_cast<size_t>(V)] = std::min(Low[static_cast<size_t>(V)],
+                                               Index[static_cast<size_t>(W)]);
+      }
+    }
+    if (Low[static_cast<size_t>(V)] == Index[static_cast<size_t>(V)]) {
+      while (true) {
+        int W = Stack.back();
+        Stack.pop_back();
+        OnStack[static_cast<size_t>(W)] = false;
+        Component[static_cast<size_t>(W)] = ComponentCount;
+        if (W == V)
+          break;
+      }
+      ++ComponentCount;
+    }
+  };
+  for (size_t V = 0; V < N; ++V)
+    if (Index[V] < 0)
+      Strongconnect(static_cast<int>(V));
+  return Component;
+}
+
+} // namespace
+
+TransformResult applyDistribution(Block &Region, const DistributionArgs &Args,
+                                  const TransformContext &Ctx) {
+  Expected<StmtLocation> Loc = resolvePath(Region, Args.LoopPath);
+  if (!Loc.ok())
+    return TransformResult::error(Loc.message());
+  auto *Loop = dyn_cast<ForStmt>(Loc->get());
+  if (!Loop)
+    return TransformResult::error("distribution path does not address a loop");
+  size_t N = Loop->Body->Stmts.size();
+  if (N < 2)
+    return TransformResult::noop("single-statement body");
+
+  std::optional<analysis::DependenceInfo> Deps =
+      analysis::DependenceInfo::compute(*Loop);
+  if (!Deps) {
+    if (Ctx.RequireDeps)
+      return TransformResult::illegal(
+          "dependences unavailable; refusing distribution");
+    // Without dependence information every statement might interact:
+    // distribution would be a blind guess, so refuse regardless.
+    return TransformResult::illegal(
+        "dependences unavailable; distribution cannot prove groups");
+  }
+
+  std::vector<std::vector<int>> Graph = Deps->stmtGraph(*Loop);
+  int ComponentCount = 0;
+  std::vector<int> Component = tarjanScc(Graph, ComponentCount);
+  if (ComponentCount <= 1)
+    return TransformResult::noop("all statements form one dependence cycle");
+
+  // Topologically order components, breaking ties by smallest original
+  // statement index so the result stays close to source order.
+  std::vector<int> MinIndex(static_cast<size_t>(ComponentCount), 1 << 30);
+  for (size_t I = 0; I < N; ++I)
+    MinIndex[static_cast<size_t>(Component[I])] =
+        std::min(MinIndex[static_cast<size_t>(Component[I])],
+                 static_cast<int>(I));
+  std::vector<std::vector<int>> CompEdges(static_cast<size_t>(ComponentCount));
+  std::vector<int> InDegree(static_cast<size_t>(ComponentCount), 0);
+  for (size_t V = 0; V < N; ++V)
+    for (int W : Graph[V]) {
+      int CV = Component[V], CW = Component[static_cast<size_t>(W)];
+      if (CV == CW)
+        continue;
+      auto &Edges = CompEdges[static_cast<size_t>(CV)];
+      if (std::find(Edges.begin(), Edges.end(), CW) == Edges.end()) {
+        Edges.push_back(CW);
+        ++InDegree[static_cast<size_t>(CW)];
+      }
+    }
+  std::vector<int> Order;
+  std::vector<int> Ready;
+  for (int C = 0; C < ComponentCount; ++C)
+    if (InDegree[static_cast<size_t>(C)] == 0)
+      Ready.push_back(C);
+  while (!Ready.empty()) {
+    auto Best = std::min_element(Ready.begin(), Ready.end(), [&](int A, int B) {
+      return MinIndex[static_cast<size_t>(A)] < MinIndex[static_cast<size_t>(B)];
+    });
+    int C = *Best;
+    Ready.erase(Best);
+    Order.push_back(C);
+    for (int W : CompEdges[static_cast<size_t>(C)])
+      if (--InDegree[static_cast<size_t>(W)] == 0)
+        Ready.push_back(W);
+  }
+  assert(Order.size() == static_cast<size_t>(ComponentCount) &&
+         "condensation must be acyclic");
+
+  // Emit one loop per component, in topological order.
+  auto Out = std::make_unique<Block>();
+  for (int C : Order) {
+    auto NewBody = std::make_unique<Block>();
+    for (size_t I = 0; I < N; ++I)
+      if (Component[I] == C)
+        NewBody->Stmts.push_back(Loop->Body->Stmts[I]->clone());
+    auto NewLoop = std::make_unique<ForStmt>(
+        Loop->Var, Loop->Init->clone(), Loop->Op, Loop->Bound->clone(),
+        Loop->Step, std::move(NewBody));
+    Out->Stmts.push_back(std::move(NewLoop));
+  }
+  Loc->replace(std::move(Out));
+  return TransformResult::success();
+}
+
+} // namespace transform
+} // namespace locus

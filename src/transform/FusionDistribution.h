@@ -1,0 +1,40 @@
+//===- FusionDistribution.h - Loop fusion and distribution -----*- C++ -*-===//
+///
+/// \file
+/// Pips.Fusion merges two adjacent loops with identical headers;
+/// RoseLocus.Distribute splits a loop's body statements into separate loops
+/// (grouped by dependence SCCs so cyclically dependent statements stay
+/// together, and scalar-linked statements are never separated).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_FUSIONDISTRIBUTION_H
+#define LOCUS_TRANSFORM_FUSIONDISTRIBUTION_H
+
+#include "src/transform/Transform.h"
+
+#include <string>
+
+namespace locus {
+namespace transform {
+
+struct FusionArgs {
+  /// Path of the first loop; it fuses with its immediately following sibling.
+  std::string LoopPath = "0";
+};
+
+TransformResult applyFusion(cir::Block &Region, const FusionArgs &Args,
+                            const TransformContext &Ctx);
+
+struct DistributionArgs {
+  /// Path of the loop whose body is distributed.
+  std::string LoopPath = "0";
+};
+
+TransformResult applyDistribution(cir::Block &Region,
+                                  const DistributionArgs &Args,
+                                  const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_FUSIONDISTRIBUTION_H

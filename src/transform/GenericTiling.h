@@ -1,0 +1,42 @@
+//===- GenericTiling.h - Skewed (time) tiling -------------------*- C++ -*-===//
+///
+/// \file
+/// Pips.GenericTiling: tiling driven by a transformation matrix, as used for
+/// the stencil experiments (Fig. 9). The matrix's diagonal holds the tile
+/// sizes; a negative entry M[r][c] = -k * M[r][r] skews loop r by factor k
+/// with respect to loop c before tiling ("Skewing-1" uses factor 1 against
+/// the time loop). The generated code enumerates tiles lexicographically and
+/// clamps intra-tile bounds with min/max, the classic skewed-tiling shape.
+///
+/// Like Pips, the module trusts the user-provided matrix when dependences
+/// cannot be computed (stencils with modulo-indexed time buffers); semantic
+/// equivalence is validated by the test suite instead.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_GENERICTILING_H
+#define LOCUS_TRANSFORM_GENERICTILING_H
+
+#include "src/transform/Transform.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace transform {
+
+struct GenericTilingArgs {
+  std::string LoopPath = "0";
+  /// Square lower-triangular matrix; Matrix[r][r] > 0 is loop r's tile size,
+  /// Matrix[r][c] (c < r) is -skew * Matrix[r][r].
+  std::vector<std::vector<int64_t>> Matrix;
+};
+
+TransformResult applyGenericTiling(cir::Block &Region,
+                                   const GenericTilingArgs &Args,
+                                   const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_GENERICTILING_H

@@ -1,0 +1,37 @@
+//===- Interchange.h - Loop interchange ------------------------*- C++ -*-===//
+///
+/// \file
+/// RoseLocus.Interchange: permutes the loops of a perfect nest. Matches the
+/// paper's usage "Interchange(order=[0,2,1])" where order[p] names the
+/// original position of the loop placed at position p.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_INTERCHANGE_H
+#define LOCUS_TRANSFORM_INTERCHANGE_H
+
+#include "src/transform/Transform.h"
+
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace transform {
+
+struct InterchangeArgs {
+  /// Path of the nest's outermost loop inside the region ("0" by default).
+  std::string LoopPath = "0";
+  /// Permutation: Order[p] = original index of the loop placed at p.
+  std::vector<int> Order;
+};
+
+/// Permutes the perfect nest headers. Structural legality (loop bounds may
+/// only reference induction variables of loops placed further out) is always
+/// enforced; dependence legality is enforced when dependences are available.
+TransformResult applyInterchange(cir::Block &Region,
+                                 const InterchangeArgs &Args,
+                                 const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_INTERCHANGE_H

@@ -1,0 +1,37 @@
+//===- LicmScalarRepl.h - LICM and scalar replacement ----------*- C++ -*-===//
+///
+/// \file
+/// RoseLocus.LICM hoists loop-invariant statements and subexpressions to the
+/// most efficient level of the nest (processing loops from the innermost
+/// outward so hoists cascade upward, as used on Kripke in Fig. 11).
+/// RoseLocus.ScalarRepl replaces array references whose subscripts are
+/// invariant in the innermost loop with scalar temporaries (the classic
+/// register-promotion of the C[i][j] reduction in matmul).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_LICMSCALARREPL_H
+#define LOCUS_TRANSFORM_LICMSCALARREPL_H
+
+#include "src/transform/Transform.h"
+
+namespace locus {
+namespace transform {
+
+struct LicmArgs {
+  /// Minimum operation count for a hoisted subexpression (whole-statement
+  /// hoists ignore this).
+  int MinOps = 1;
+};
+
+TransformResult applyLicm(cir::Block &Region, const LicmArgs &Args,
+                          const TransformContext &Ctx);
+
+struct ScalarReplArgs {};
+
+TransformResult applyScalarRepl(cir::Block &Region, const ScalarReplArgs &Args,
+                                const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_LICMSCALARREPL_H

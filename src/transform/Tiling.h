@@ -1,0 +1,43 @@
+//===- Tiling.h - Rectangular loop tiling ----------------------*- C++ -*-===//
+///
+/// \file
+/// Loop tiling in two forms, matching the paper's two call shapes:
+///  - Band form (Pips.Tiling / RoseLocus.Tiling with a factor list):
+///    "Tiling(loop="0", factor=[tileI, tileK, tileJ])" tiles the first k
+///    loops of the perfect nest at the path with the given tile sizes,
+///    producing k tile-controlling loops followed by k intra-tile loops.
+///  - Single-loop form (RoseLocus.Tiling with an integer loop index, as in
+///    Fig. 13): "Tiling(loop=d, factor=f)" strip-mines the d-th loop
+///    (1-based) and hoists its tile-controlling loop outermost.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_TILING_H
+#define LOCUS_TRANSFORM_TILING_H
+
+#include "src/transform/Transform.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace transform {
+
+struct TilingArgs {
+  /// Path of the nest's outermost loop (band form).
+  std::string LoopPath = "0";
+  /// Tile sizes for the band form; one per tiled loop, outermost first.
+  /// A factor of 1 leaves that loop untiled.
+  std::vector<int64_t> Factors;
+  /// When >= 1, single-loop form: the 1-based depth of the loop to tile;
+  /// Factors must then hold exactly one tile size.
+  int SingleLoopDepth = -1;
+};
+
+TransformResult applyTiling(cir::Block &Region, const TilingArgs &Args,
+                            const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_TILING_H

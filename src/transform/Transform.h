@@ -1,0 +1,85 @@
+//===- Transform.h - Transformation module interface -----------*- C++ -*-===//
+///
+/// \file
+/// Shared types of the transformation modules. The paper (Section II,
+/// Section IV-A) requires every integrated module to report an exit status
+/// (successful / error / illegal) through its wrapper function; this is that
+/// status protocol. Each module checks legality with the dependence analyzer
+/// when dependences are computable; when they are not, the module proceeds
+/// (the paper lets programmers enforce transformations they know are legal)
+/// unless TransformOptions::RequireDeps is set.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_TRANSFORM_H
+#define LOCUS_TRANSFORM_TRANSFORM_H
+
+#include "src/cir/Ast.h"
+
+#include <map>
+#include <string>
+
+namespace locus {
+namespace transform {
+
+/// Module exit status, mirroring the wrapper-function protocol of Section II.
+enum class TransformStatus {
+  Success, ///< the region was rewritten
+  NoOp,    ///< nothing to do (e.g. distribution of a single statement)
+  Illegal, ///< the dependence analyzer proved the rewrite unsafe
+  Error    ///< malformed arguments or unsupported code shape
+};
+
+/// Result of invoking one transformation module.
+struct TransformResult {
+  TransformStatus Status = TransformStatus::Success;
+  std::string Message;
+
+  static TransformResult success() { return {TransformStatus::Success, ""}; }
+  static TransformResult noop(std::string Why = "") {
+    return {TransformStatus::NoOp, std::move(Why)};
+  }
+  static TransformResult illegal(std::string Why) {
+    return {TransformStatus::Illegal, std::move(Why)};
+  }
+  static TransformResult error(std::string Why) {
+    return {TransformStatus::Error, std::move(Why)};
+  }
+
+  bool succeeded() const { return Status == TransformStatus::Success; }
+  bool applied() const {
+    return Status == TransformStatus::Success || Status == TransformStatus::NoOp;
+  }
+};
+
+/// Options and shared state threaded through module invocations.
+struct TransformContext {
+  /// When true, modules refuse to transform code whose dependences cannot be
+  /// computed (instead of trusting the programmer).
+  bool RequireDeps = false;
+
+  /// The enclosing program; used to look up declared element types when
+  /// synthesizing temporaries (LICM, scalar replacement). May be null, in
+  /// which case temporaries default to double.
+  const cir::Program *Prog = nullptr;
+
+  /// Named code snippets for BuiltIn.Altdesc; stands in for the external
+  /// snippet files of Fig. 11 (scatter_DZG.txt, ...).
+  std::map<std::string, std::string> Snippets;
+};
+
+/// Collects declared element types (globals plus every local declaration).
+std::map<std::string, cir::ElemType> collectDeclTypes(const cir::Program &P);
+
+/// Infers the element type of \p E: double when any referenced name is
+/// declared double or a float literal appears, int otherwise.
+cir::ElemType inferElemType(const cir::Expr &E,
+                            const std::map<std::string, cir::ElemType> &Types);
+
+/// Returns a variable name starting with \p Base that is not yet used
+/// anywhere in \p Scope (appends _2, _3, ... on collision).
+std::string freshName(const cir::Block &Scope, const std::string &Base);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_TRANSFORM_H

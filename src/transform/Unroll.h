@@ -1,0 +1,47 @@
+//===- Unroll.h - Loop unrolling and unroll-and-jam ------------*- C++ -*-===//
+///
+/// \file
+/// RoseLocus.Unroll and RoseLocus.UnrollAndJam / Pips unroll-and-jam.
+/// Unrolling replicates a loop body Factor times (with a remainder loop for
+/// trip counts that do not divide); unroll-and-jam unrolls an outer loop and
+/// fuses ("jams") the copies of its inner loops back together.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_TRANSFORM_UNROLL_H
+#define LOCUS_TRANSFORM_UNROLL_H
+
+#include "src/transform/Transform.h"
+
+#include <cstdint>
+#include <string>
+
+namespace locus {
+namespace transform {
+
+struct UnrollArgs {
+  /// Path of the loop to unroll. The module layer expands the paper's
+  /// "loop=innermost" and list-of-paths forms into repeated calls.
+  std::string LoopPath = "0";
+  int64_t Factor = 2;
+};
+
+TransformResult applyUnroll(cir::Block &Region, const UnrollArgs &Args,
+                            const TransformContext &Ctx);
+
+struct UnrollAndJamArgs {
+  /// Path of the nest's outermost loop.
+  std::string LoopPath = "0";
+  /// 1-based depth of the loop to unroll-and-jam within the perfect nest
+  /// (Fig. 13 passes this as an integer search variable).
+  int Depth = 1;
+  int64_t Factor = 2;
+};
+
+TransformResult applyUnrollAndJam(cir::Block &Region,
+                                  const UnrollAndJamArgs &Args,
+                                  const TransformContext &Ctx);
+
+} // namespace transform
+} // namespace locus
+
+#endif // LOCUS_TRANSFORM_UNROLL_H

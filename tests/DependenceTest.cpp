@@ -1,0 +1,278 @@
+//===- DependenceTest.cpp - Dependence analysis unit tests --------------------===//
+
+#include "src/analysis/Affine.h"
+#include "src/analysis/Dependence.h"
+#include "src/cir/Parser.h"
+#include "src/cir/PathIndex.h"
+
+#include <gtest/gtest.h>
+
+namespace locus {
+namespace {
+
+using namespace analysis;
+using namespace cir;
+
+ForStmt *firstLoop(Program &P, const std::string &Region) {
+  auto Regions = P.findRegions(Region);
+  EXPECT_EQ(Regions.size(), 1u);
+  auto Outer = listOuterLoops(*Regions[0]);
+  EXPECT_FALSE(Outer.empty());
+  return Outer[0].Loop;
+}
+
+std::unique_ptr<Program> parse(const std::string &Src) {
+  auto P = parseProgram(Src);
+  EXPECT_TRUE(P.ok()) << P.message();
+  return P.ok() ? std::move(*P) : nullptr;
+}
+
+//===----------------------------------------------------------------------===//
+// Affine extraction
+//===----------------------------------------------------------------------===//
+
+TEST(Affine, LinearForms) {
+  auto P = parse("double A[100]; int n; int main() { int i, j; A[2*i + 3*j - n + 7] = 1.0; }");
+  const auto *Assign =
+      dyn_cast<AssignStmt>(P->Body->Stmts.back().get());
+  ASSERT_NE(Assign, nullptr);
+  const auto *Ref = cast<ArrayRef>(Assign->Lhs.get());
+  std::optional<AffineExpr> E = toAffine(*Ref->Indices[0]);
+  ASSERT_TRUE(E.has_value());
+  EXPECT_EQ(E->coeff("i"), 2);
+  EXPECT_EQ(E->coeff("j"), 3);
+  EXPECT_EQ(E->coeff("n"), -1);
+  EXPECT_EQ(E->constant(), 7);
+}
+
+TEST(Affine, RejectsNonAffine) {
+  auto P = parse(
+      "double A[100]; int idx[100]; int main() { int i, j; A[i * j] = 1.0; "
+      "A[i % 4] = 2.0; A[idx[i]] = 3.0; }");
+  for (size_t I = P->Body->Stmts.size() - 3; I < P->Body->Stmts.size(); ++I) {
+    const auto *Assign = dyn_cast<AssignStmt>(P->Body->Stmts[I].get());
+    ASSERT_NE(Assign, nullptr);
+    const auto *Ref = cast<ArrayRef>(Assign->Lhs.get());
+    EXPECT_FALSE(toAffine(*Ref->Indices[0]).has_value());
+  }
+}
+
+TEST(Affine, ArithmeticOnForms) {
+  AffineExpr A = AffineExpr::variable("i", 2) + AffineExpr(5);
+  AffineExpr B = AffineExpr::variable("i", 2) + AffineExpr::variable("j");
+  AffineExpr D = A - B;
+  EXPECT_EQ(D.coeff("i"), 0);
+  EXPECT_EQ(D.coeff("j"), -1);
+  EXPECT_EQ(D.constant(), 5);
+  EXPECT_TRUE(AffineExpr(4).isConstant());
+  EXPECT_EQ(A.scaled(3).coeff("i"), 6);
+}
+
+//===----------------------------------------------------------------------===//
+// Dependence tests
+//===----------------------------------------------------------------------===//
+
+TEST(Dependence, ZivIndependence) {
+  auto P = parse(R"(
+double A[10][10];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++) {
+    A[0][i] = 1.0;
+    A[1][i] = A[0][i] + 2.0;
+  }
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  // Only the flow A[0][i] -> read A[0][i] at '=' remains; the two writes to
+  // rows 0 and 1 are ZIV-independent.
+  for (const Dependence &D : Deps->deps()) {
+    EXPECT_EQ(D.Kind, DepKind::Flow);
+    EXPECT_EQ(D.Dirs, std::vector<char>{'='});
+  }
+  EXPECT_FALSE(Deps->deps().empty());
+}
+
+TEST(Dependence, StrongSivDistance) {
+  auto P = parse(R"(
+double A[32];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 4; i < 32; i++)
+    A[i] = A[i - 4] * 0.5;
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  bool FoundCarried = false;
+  for (const Dependence &D : Deps->deps())
+    if (D.Kind == DepKind::Flow && D.Dirs == std::vector<char>{'<'})
+      FoundCarried = true;
+  EXPECT_TRUE(FoundCarried);
+}
+
+TEST(Dependence, NonIntegerDistanceMeansIndependent) {
+  auto P = parse(R"(
+double A[64];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 30; i++)
+    A[2 * i] = A[2 * i + 1] + 1.0;
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  // 2i = 2i' + 1 has no integer solution: no cross dependence; only the
+  // trivially-empty set remains.
+  for (const Dependence &D : Deps->deps())
+    EXPECT_NE(D.Kind, DepKind::Flow);
+}
+
+TEST(Dependence, GcdTestProvesIndependence) {
+  auto P = parse(R"(
+double A[64];
+int main() {
+  int i, j;
+#pragma @Locus loop=r
+  for (i = 0; i < 8; i++)
+    for (j = 0; j < 4; j++)
+      A[4 * i + 2 * j] = A[4 * i + 2 * j + 1] + 1.0;
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  for (const Dependence &D : Deps->deps())
+    EXPECT_NE(D.Kind, DepKind::Flow); // gcd(4,2) does not divide 1
+}
+
+TEST(Dependence, UnavailableForIndirectAndConditionals) {
+  auto Indirect = parse(R"(
+double A[16]; int idx[16];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++)
+    A[idx[i]] = 1.0;
+}
+)");
+  EXPECT_FALSE(DependenceInfo::compute(*firstLoop(*Indirect, "r")).has_value());
+
+  auto Conditional = parse(R"(
+double A[16];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++)
+    if (i % 2 == 0) {
+      A[i] = 1.0;
+    }
+}
+)");
+  EXPECT_FALSE(
+      DependenceInfo::compute(*firstLoop(*Conditional, "r")).has_value());
+}
+
+TEST(Dependence, DeclaredTemporarySubscriptIsNotAffine) {
+  // Kripke-style address temporaries: the subscript reads a scalar defined
+  // inside the nest, so exact analysis must bail out.
+  auto P = parse(R"(
+double A[64];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 8; i++) {
+    int k = i * 8;
+    A[k] = A[k] + 1.0;
+  }
+}
+)");
+  EXPECT_FALSE(DependenceInfo::compute(*firstLoop(*P, "r")).has_value());
+}
+
+TEST(Dependence, InterchangeLegalityMatrix) {
+  // Classic wavefront: direction vector ('<', '>') forbids the swap.
+  auto Wave = parse(R"(
+double A[16][16];
+int main() {
+  int i, j;
+#pragma @Locus loop=r
+  for (i = 1; i < 16; i++)
+    for (j = 0; j < 15; j++)
+      A[i][j] = A[i - 1][j + 1] + 1.0;
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*Wave, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_TRUE(Deps->interchangeLegal({0, 1}));
+  EXPECT_FALSE(Deps->interchangeLegal({1, 0}));
+  EXPECT_FALSE(Deps->tilingLegal(0, 1));
+  EXPECT_FALSE(Deps->unrollAndJamLegal(0));
+
+  // Forward-only distances permit everything.
+  auto Down = parse(R"(
+double A[16][16];
+int main() {
+  int i, j;
+#pragma @Locus loop=r
+  for (i = 1; i < 16; i++)
+    for (j = 1; j < 16; j++)
+      A[i][j] = A[i - 1][j - 1] + 1.0;
+}
+)");
+  auto Deps2 = DependenceInfo::compute(*firstLoop(*Down, "r"));
+  ASSERT_TRUE(Deps2.has_value());
+  EXPECT_TRUE(Deps2->interchangeLegal({1, 0}));
+  EXPECT_TRUE(Deps2->tilingLegal(0, 1));
+  EXPECT_TRUE(Deps2->unrollAndJamLegal(0));
+}
+
+TEST(Dependence, ReductionScalarMakesLoopSerial) {
+  auto P = parse(R"(
+double A[16];
+double s;
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++)
+    s = s + A[i];
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  bool ScalarCarried = false;
+  for (const Dependence &D : Deps->deps())
+    if (D.IsScalar && D.mayBeCarriedBy(0))
+      ScalarCarried = true;
+  EXPECT_TRUE(ScalarCarried);
+}
+
+TEST(Dependence, StmtGraphOrdersProducersBeforeConsumers) {
+  auto P = parse(R"(
+double A[16];
+double B[16];
+double C[16];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++) {
+    A[i] = C[i] * 2.0;
+    B[i] = A[i] + 1.0;
+  }
+}
+)");
+  ForStmt *Loop = firstLoop(*P, "r");
+  auto Deps = DependenceInfo::compute(*Loop);
+  ASSERT_TRUE(Deps.has_value());
+  auto Graph = Deps->stmtGraph(*Loop);
+  ASSERT_EQ(Graph.size(), 2u);
+  ASSERT_EQ(Graph[0].size(), 1u);
+  EXPECT_EQ(Graph[0][0], 1); // A's definition feeds B's statement
+  EXPECT_TRUE(Deps->distributionLegal(*Loop));
+}
+
+} // namespace
+} // namespace locus

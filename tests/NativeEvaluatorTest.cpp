@@ -1,0 +1,65 @@
+//===- NativeEvaluatorTest.cpp - compile-and-run path tests -------------------===//
+
+#include "src/cir/Parser.h"
+#include "src/eval/Evaluator.h"
+#include "src/eval/NativeEvaluator.h"
+#include "src/transform/Tiling.h"
+#include "src/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace locus {
+namespace {
+
+TEST(NativeEvaluator, EmitsCompilableC) {
+  auto P = cir::parseProgram(workloads::dgemmSource(16, 16, 16));
+  ASSERT_TRUE(P.ok());
+  std::string C = eval::emitNativeC(**P);
+  EXPECT_NE(C.find("int main(void)"), std::string::npos);
+  EXPECT_NE(C.find("LOCUS_CHECKSUM"), std::string::npos);
+  // Region markers must not leak into the native source.
+  EXPECT_EQ(C.find("@Locus"), std::string::npos);
+}
+
+TEST(NativeEvaluator, MatchesSimulatorChecksum) {
+  if (!eval::nativeCompilerAvailable("cc"))
+    GTEST_SKIP() << "no system C compiler";
+  auto P = cir::parseProgram(workloads::dgemmSource(24, 24, 24));
+  ASSERT_TRUE(P.ok());
+
+  eval::NativeResult Native = eval::evaluateNative(**P);
+  ASSERT_TRUE(Native.Ok) << Native.Error;
+  EXPECT_GT(Native.Seconds, 0);
+
+  eval::EvalOptions SimOpts;
+  SimOpts.CountCost = false;
+  eval::RunResult Sim = eval::evaluateProgram(**P, SimOpts);
+  ASSERT_TRUE(Sim.Ok);
+  EXPECT_NEAR(Native.Checksum, Sim.Checksum,
+              1e-6 * std::max(1.0, std::abs(Sim.Checksum)));
+}
+
+TEST(NativeEvaluator, TransformedVariantMatchesBaselineNatively) {
+  if (!eval::nativeCompilerAvailable("cc"))
+    GTEST_SKIP() << "no system C compiler";
+  auto P = cir::parseProgram(workloads::dgemmSource(20, 20, 20));
+  ASSERT_TRUE(P.ok());
+  eval::NativeResult Base = eval::evaluateNative(**P);
+  ASSERT_TRUE(Base.Ok) << Base.Error;
+
+  auto Variant = (*P)->clone();
+  transform::TransformContext Ctx;
+  Ctx.Prog = Variant.get();
+  transform::TilingArgs Args;
+  Args.Factors = {4, 8, 4};
+  ASSERT_TRUE(transform::applyTiling(*Variant->findRegions("matmul")[0], Args,
+                                     Ctx)
+                  .succeeded());
+  eval::NativeResult Tiled = eval::evaluateNative(*Variant);
+  ASSERT_TRUE(Tiled.Ok) << Tiled.Error;
+  EXPECT_NEAR(Base.Checksum, Tiled.Checksum,
+              1e-6 * std::max(1.0, std::abs(Base.Checksum)));
+}
+
+} // namespace
+} // namespace locus
