@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_kripke.dir/fig12_kripke.cpp.o"
+  "CMakeFiles/fig12_kripke.dir/fig12_kripke.cpp.o.d"
+  "fig12_kripke"
+  "fig12_kripke.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_kripke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

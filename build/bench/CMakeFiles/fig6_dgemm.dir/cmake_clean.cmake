@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_dgemm.dir/fig6_dgemm.cpp.o"
+  "CMakeFiles/fig6_dgemm.dir/fig6_dgemm.cpp.o.d"
+  "fig6_dgemm"
+  "fig6_dgemm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_dgemm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

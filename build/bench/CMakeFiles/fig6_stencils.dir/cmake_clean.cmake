@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_stencils.dir/fig6_stencils.cpp.o"
+  "CMakeFiles/fig6_stencils.dir/fig6_stencils.cpp.o.d"
+  "fig6_stencils"
+  "fig6_stencils.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_stencils.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

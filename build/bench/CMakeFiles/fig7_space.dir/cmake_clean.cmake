@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_space.dir/fig7_space.cpp.o"
+  "CMakeFiles/fig7_space.dir/fig7_space.cpp.o.d"
+  "fig7_space"
+  "fig7_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_loopnests.dir/table1_loopnests.cpp.o"
+  "CMakeFiles/table1_loopnests.dir/table1_loopnests.cpp.o.d"
+  "table1_loopnests"
+  "table1_loopnests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_loopnests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

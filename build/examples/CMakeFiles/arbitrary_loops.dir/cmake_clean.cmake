@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbitrary_loops.dir/arbitrary_loops.cpp.o"
+  "CMakeFiles/arbitrary_loops.dir/arbitrary_loops.cpp.o.d"
+  "arbitrary_loops"
+  "arbitrary_loops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbitrary_loops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kripke_layouts.dir/kripke_layouts.cpp.o"
+  "CMakeFiles/kripke_layouts.dir/kripke_layouts.cpp.o.d"
+  "kripke_layouts"
+  "kripke_layouts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kripke_layouts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kripke_layouts.
+# This may be replaced when dependencies are built.

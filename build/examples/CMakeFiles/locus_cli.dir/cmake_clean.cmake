@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_cli.dir/locus_cli.cpp.o"
+  "CMakeFiles/locus_cli.dir/locus_cli.cpp.o.d"
+  "locus_cli"
+  "locus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

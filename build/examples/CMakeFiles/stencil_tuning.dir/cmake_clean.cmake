@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stencil_tuning.dir/stencil_tuning.cpp.o"
+  "CMakeFiles/stencil_tuning.dir/stencil_tuning.cpp.o.d"
+  "stencil_tuning"
+  "stencil_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stencil_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

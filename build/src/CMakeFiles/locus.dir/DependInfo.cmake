@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/Affine.cpp" "src/CMakeFiles/locus.dir/analysis/Affine.cpp.o" "gcc" "src/CMakeFiles/locus.dir/analysis/Affine.cpp.o.d"
+  "/root/repo/src/analysis/Dependence.cpp" "src/CMakeFiles/locus.dir/analysis/Dependence.cpp.o" "gcc" "src/CMakeFiles/locus.dir/analysis/Dependence.cpp.o.d"
+  "/root/repo/src/baseline/Pluto.cpp" "src/CMakeFiles/locus.dir/baseline/Pluto.cpp.o" "gcc" "src/CMakeFiles/locus.dir/baseline/Pluto.cpp.o.d"
+  "/root/repo/src/cir/Ast.cpp" "src/CMakeFiles/locus.dir/cir/Ast.cpp.o" "gcc" "src/CMakeFiles/locus.dir/cir/Ast.cpp.o.d"
+  "/root/repo/src/cir/AstUtils.cpp" "src/CMakeFiles/locus.dir/cir/AstUtils.cpp.o" "gcc" "src/CMakeFiles/locus.dir/cir/AstUtils.cpp.o.d"
+  "/root/repo/src/cir/Lexer.cpp" "src/CMakeFiles/locus.dir/cir/Lexer.cpp.o" "gcc" "src/CMakeFiles/locus.dir/cir/Lexer.cpp.o.d"
+  "/root/repo/src/cir/Parser.cpp" "src/CMakeFiles/locus.dir/cir/Parser.cpp.o" "gcc" "src/CMakeFiles/locus.dir/cir/Parser.cpp.o.d"
+  "/root/repo/src/cir/PathIndex.cpp" "src/CMakeFiles/locus.dir/cir/PathIndex.cpp.o" "gcc" "src/CMakeFiles/locus.dir/cir/PathIndex.cpp.o.d"
+  "/root/repo/src/cir/Printer.cpp" "src/CMakeFiles/locus.dir/cir/Printer.cpp.o" "gcc" "src/CMakeFiles/locus.dir/cir/Printer.cpp.o.d"
+  "/root/repo/src/driver/Orchestrator.cpp" "src/CMakeFiles/locus.dir/driver/Orchestrator.cpp.o" "gcc" "src/CMakeFiles/locus.dir/driver/Orchestrator.cpp.o.d"
+  "/root/repo/src/eval/Evaluator.cpp" "src/CMakeFiles/locus.dir/eval/Evaluator.cpp.o" "gcc" "src/CMakeFiles/locus.dir/eval/Evaluator.cpp.o.d"
+  "/root/repo/src/eval/NativeEvaluator.cpp" "src/CMakeFiles/locus.dir/eval/NativeEvaluator.cpp.o" "gcc" "src/CMakeFiles/locus.dir/eval/NativeEvaluator.cpp.o.d"
+  "/root/repo/src/locus/Interpreter.cpp" "src/CMakeFiles/locus.dir/locus/Interpreter.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/Interpreter.cpp.o.d"
+  "/root/repo/src/locus/LocusAst.cpp" "src/CMakeFiles/locus.dir/locus/LocusAst.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/LocusAst.cpp.o.d"
+  "/root/repo/src/locus/LocusLexer.cpp" "src/CMakeFiles/locus.dir/locus/LocusLexer.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/LocusLexer.cpp.o.d"
+  "/root/repo/src/locus/LocusParser.cpp" "src/CMakeFiles/locus.dir/locus/LocusParser.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/LocusParser.cpp.o.d"
+  "/root/repo/src/locus/LocusPrinter.cpp" "src/CMakeFiles/locus.dir/locus/LocusPrinter.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/LocusPrinter.cpp.o.d"
+  "/root/repo/src/locus/Modules.cpp" "src/CMakeFiles/locus.dir/locus/Modules.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/Modules.cpp.o.d"
+  "/root/repo/src/locus/Optimizer.cpp" "src/CMakeFiles/locus.dir/locus/Optimizer.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/Optimizer.cpp.o.d"
+  "/root/repo/src/locus/Value.cpp" "src/CMakeFiles/locus.dir/locus/Value.cpp.o" "gcc" "src/CMakeFiles/locus.dir/locus/Value.cpp.o.d"
+  "/root/repo/src/machine/CacheSim.cpp" "src/CMakeFiles/locus.dir/machine/CacheSim.cpp.o" "gcc" "src/CMakeFiles/locus.dir/machine/CacheSim.cpp.o.d"
+  "/root/repo/src/search/Searchers.cpp" "src/CMakeFiles/locus.dir/search/Searchers.cpp.o" "gcc" "src/CMakeFiles/locus.dir/search/Searchers.cpp.o.d"
+  "/root/repo/src/search/Space.cpp" "src/CMakeFiles/locus.dir/search/Space.cpp.o" "gcc" "src/CMakeFiles/locus.dir/search/Space.cpp.o.d"
+  "/root/repo/src/support/StringUtils.cpp" "src/CMakeFiles/locus.dir/support/StringUtils.cpp.o" "gcc" "src/CMakeFiles/locus.dir/support/StringUtils.cpp.o.d"
+  "/root/repo/src/transform/AltdescPragmas.cpp" "src/CMakeFiles/locus.dir/transform/AltdescPragmas.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/AltdescPragmas.cpp.o.d"
+  "/root/repo/src/transform/FusionDistribution.cpp" "src/CMakeFiles/locus.dir/transform/FusionDistribution.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/FusionDistribution.cpp.o.d"
+  "/root/repo/src/transform/GenericTiling.cpp" "src/CMakeFiles/locus.dir/transform/GenericTiling.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/GenericTiling.cpp.o.d"
+  "/root/repo/src/transform/Interchange.cpp" "src/CMakeFiles/locus.dir/transform/Interchange.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/Interchange.cpp.o.d"
+  "/root/repo/src/transform/LicmScalarRepl.cpp" "src/CMakeFiles/locus.dir/transform/LicmScalarRepl.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/LicmScalarRepl.cpp.o.d"
+  "/root/repo/src/transform/Tiling.cpp" "src/CMakeFiles/locus.dir/transform/Tiling.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/Tiling.cpp.o.d"
+  "/root/repo/src/transform/Transform.cpp" "src/CMakeFiles/locus.dir/transform/Transform.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/Transform.cpp.o.d"
+  "/root/repo/src/transform/Unroll.cpp" "src/CMakeFiles/locus.dir/transform/Unroll.cpp.o" "gcc" "src/CMakeFiles/locus.dir/transform/Unroll.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/CMakeFiles/locus.dir/workloads/Workloads.cpp.o" "gcc" "src/CMakeFiles/locus.dir/workloads/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

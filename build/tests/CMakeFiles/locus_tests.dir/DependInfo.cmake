@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CirParserTest.cpp" "tests/CMakeFiles/locus_tests.dir/CirParserTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/CirParserTest.cpp.o.d"
+  "/root/repo/tests/DependenceTest.cpp" "tests/CMakeFiles/locus_tests.dir/DependenceTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/DependenceTest.cpp.o.d"
+  "/root/repo/tests/DriverTest.cpp" "tests/CMakeFiles/locus_tests.dir/DriverTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/DriverTest.cpp.o.d"
+  "/root/repo/tests/EvaluatorTest.cpp" "tests/CMakeFiles/locus_tests.dir/EvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/EvaluatorTest.cpp.o.d"
+  "/root/repo/tests/LocusLangTest.cpp" "tests/CMakeFiles/locus_tests.dir/LocusLangTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/LocusLangTest.cpp.o.d"
+  "/root/repo/tests/LocusPrinterTest.cpp" "tests/CMakeFiles/locus_tests.dir/LocusPrinterTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/LocusPrinterTest.cpp.o.d"
+  "/root/repo/tests/NativeEvaluatorTest.cpp" "tests/CMakeFiles/locus_tests.dir/NativeEvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/NativeEvaluatorTest.cpp.o.d"
+  "/root/repo/tests/OptimizerTest.cpp" "tests/CMakeFiles/locus_tests.dir/OptimizerTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/OptimizerTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/locus_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SearchTest.cpp" "tests/CMakeFiles/locus_tests.dir/SearchTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/SearchTest.cpp.o.d"
+  "/root/repo/tests/SupportTest.cpp" "tests/CMakeFiles/locus_tests.dir/SupportTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/SupportTest.cpp.o.d"
+  "/root/repo/tests/TransformTest.cpp" "tests/CMakeFiles/locus_tests.dir/TransformTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/TransformTest.cpp.o.d"
+  "/root/repo/tests/WorkloadsTest.cpp" "tests/CMakeFiles/locus_tests.dir/WorkloadsTest.cpp.o" "gcc" "tests/CMakeFiles/locus_tests.dir/WorkloadsTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/locus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

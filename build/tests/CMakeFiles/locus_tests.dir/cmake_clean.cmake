@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locus_tests.dir/CirParserTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/CirParserTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/DependenceTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/DependenceTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/DriverTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/DriverTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/EvaluatorTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/EvaluatorTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/LocusLangTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/LocusLangTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/LocusPrinterTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/LocusPrinterTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/NativeEvaluatorTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/NativeEvaluatorTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/OptimizerTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/OptimizerTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/PropertyTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/PropertyTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/SearchTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/SearchTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/SupportTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/SupportTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/TransformTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/TransformTest.cpp.o.d"
+  "CMakeFiles/locus_tests.dir/WorkloadsTest.cpp.o"
+  "CMakeFiles/locus_tests.dir/WorkloadsTest.cpp.o.d"
+  "locus_tests"
+  "locus_tests.pdb"
+  "locus_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locus_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
