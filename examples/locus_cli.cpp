@@ -18,6 +18,10 @@
 //   --export-point FILE   write the best point in serialized form
 //   --native              additionally time the best variant with the system
 //                         C compiler (the paper's buildcmd/runcmd path)
+//   --journal FILE        append every assessed variant to FILE (crash-safe
+//                         JSONL journal, fsynced per record)
+//   --resume              reload an existing --journal file and continue the
+//                         interrupted search where it left off
 //
 //===----------------------------------------------------------------------===//
 
@@ -59,7 +63,8 @@ int usage(const char *Argv0) {
                "       [--search NAME] [--budget N] [--seed N]\n"
                "       [--machine xeon|tiny] [--cores N]\n"
                "       [--emit-c FILE] [--export-direct FILE]\n"
-               "       [--export-point FILE] [--native]\n",
+               "       [--export-point FILE] [--native]\n"
+               "       [--journal FILE] [--resume]\n",
                Argv0);
   return 2;
 }
@@ -106,6 +111,11 @@ int main(int argc, char **argv) {
     } else if (Arg == "--cores") {
       if (const char *V = Next())
         Opts.Eval.Machine.Cores = std::atoi(V);
+    } else if (Arg == "--journal") {
+      if (const char *V = Next())
+        Opts.JournalPath = V;
+    } else if (Arg == "--resume") {
+      Opts.ResumeFromJournal = true;
     } else if (Arg == "--emit-c") {
       if (const char *V = Next())
         EmitC = V;
@@ -191,9 +201,22 @@ int main(int argc, char **argv) {
                 (unsigned long long)R->Space.fullSize(),
                 R->Space.Params.size());
     std::printf("%s", R->Space.describe().c_str());
-    std::printf("assessed %d variants (%d invalid, %d duplicates)\n",
+    std::printf("assessed %d variants (%d invalid, %d duplicates",
                 R->Search.Evaluations, R->Search.InvalidPoints,
                 R->Search.DuplicatesSkipped);
+    if (R->Search.ReplayedEvaluations > 0)
+      std::printf(", %d replayed from journal", R->Search.ReplayedEvaluations);
+    std::printf(")\n");
+    for (int K = 1; K < search::NumFailureKinds; ++K)
+      if (int N = R->Search.FailureCounts[static_cast<size_t>(K)])
+        std::printf("  %-17s %d\n",
+                    search::failureKindName(static_cast<search::FailureKind>(K)),
+                    N);
+    if (R->Guard.UnstableRetries || R->Guard.QuarantinedPoints)
+      std::printf("guards: %d unstable retries (%d recovered), %d points "
+                  "quarantined (%d rejects)\n",
+                  R->Guard.UnstableRetries, R->Guard.UnstableRecovered,
+                  R->Guard.QuarantinedPoints, R->Guard.QuarantineRejects);
     std::printf("baseline %.0f cycles -> best %.0f cycles, speedup %.2fx%s\n",
                 R->BaselineCycles, R->BestCycles, R->Speedup,
                 R->BaselineChosen ? " (baseline kept)" : "");

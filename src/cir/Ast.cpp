@@ -36,8 +36,8 @@ ExprPtr makeMax(ExprPtr Lhs, ExprPtr Rhs) {
 namespace {
 
 /// Collects region blocks in source order.
-void collectRegions(Block &B, const std::string *Name,
-                    std::vector<Block *> *Out,
+void collectRegions(const Block &B, const std::string *Name,
+                    std::vector<const Block *> *Out,
                     std::vector<std::string> *NamesOut) {
   if (!B.RegionName.empty()) {
     if (NamesOut)
@@ -45,12 +45,12 @@ void collectRegions(Block &B, const std::string *Name,
     if (Out && Name && B.RegionName == *Name)
       Out->push_back(&B);
   }
-  for (auto &S : B.Stmts) {
-    if (auto *Sub = dyn_cast<Block>(S.get()))
+  for (const auto &S : B.Stmts) {
+    if (const auto *Sub = dyn_cast<Block>(S.get()))
       collectRegions(*Sub, Name, Out, NamesOut);
-    else if (auto *For = dyn_cast<ForStmt>(S.get()))
+    else if (const auto *For = dyn_cast<ForStmt>(S.get()))
       collectRegions(*For->Body, Name, Out, NamesOut);
-    else if (auto *If = dyn_cast<IfStmt>(S.get())) {
+    else if (const auto *If = dyn_cast<IfStmt>(S.get())) {
       collectRegions(*If->Then, Name, Out, NamesOut);
       if (If->Else)
         collectRegions(*If->Else, Name, Out, NamesOut);
@@ -62,13 +62,21 @@ void collectRegions(Block &B, const std::string *Name,
 
 std::vector<Block *> Program::findRegions(const std::string &Name) {
   std::vector<Block *> Result;
+  // The walk itself is const; a mutable Program may hand out mutable blocks.
+  for (const Block *B : static_cast<const Program *>(this)->findRegions(Name))
+    Result.push_back(const_cast<Block *>(B));
+  return Result;
+}
+
+std::vector<const Block *> Program::findRegions(const std::string &Name) const {
+  std::vector<const Block *> Result;
   collectRegions(*Body, &Name, &Result, nullptr);
   return Result;
 }
 
 std::vector<std::string> Program::regionNames() const {
   std::vector<std::string> Names;
-  collectRegions(*const_cast<Block *>(Body.get()), nullptr, nullptr, &Names);
+  collectRegions(*Body, nullptr, nullptr, &Names);
   return Names;
 }
 

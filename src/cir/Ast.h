@@ -429,6 +429,7 @@ public:
 
   /// Returns all region blocks named \p Name, in source order.
   std::vector<Block *> findRegions(const std::string &Name);
+  std::vector<const Block *> findRegions(const std::string &Name) const;
 
   /// Returns the names of all regions, in source order (duplicates kept).
   std::vector<std::string> regionNames() const;

@@ -5,11 +5,13 @@
 #include "src/locus/Optimizer.h"
 
 #include "src/cir/AstUtils.h"
+#include "src/search/Journal.h"
+#include "src/search/PointCodec.h"
 #include "src/support/StringUtils.h"
 
 #include <cmath>
+#include <cstdio>
 #include <limits>
-#include <sstream>
 
 namespace locus {
 namespace driver {
@@ -54,9 +56,8 @@ const lang::LocusProgram &Orchestrator::program() {
 
 std::map<std::string, uint64_t> Orchestrator::regionHashes() const {
   std::map<std::string, uint64_t> Hashes;
-  auto &Mutable = const_cast<cir::Program &>(Baseline);
   for (const std::string &Name : Baseline.regionNames())
-    for (cir::Block *Region : Mutable.findRegions(Name))
+    for (const cir::Block *Region : Baseline.findRegions(Name))
       Hashes[Name] = cir::hashRegion(*Region);
   return Hashes;
 }
@@ -90,18 +91,22 @@ Expected<DirectResult> Orchestrator::runPoint(const search::Point &Point) {
 namespace {
 
 /// The Objective plugged into the search module: materialize the variant for
-/// a point and measure it on the machine model.
+/// a point, measure it on the machine model, and classify every failure
+/// mode so the searchers can count them per kind.
 class VariantObjective : public search::Objective {
 public:
   VariantObjective(const lang::LocusProgram &LProg,
                    const lang::ModuleRegistry &Registry,
                    const cir::Program &Baseline,
-                   const OrchestratorOptions &Opts, double BaselineChecksum)
+                   const OrchestratorOptions &Opts, double BaselineChecksum,
+                   uint64_t DeadlineIterations)
       : LProg(LProg), Registry(Registry), Baseline(Baseline), Opts(Opts),
-        BaselineChecksum(BaselineChecksum) {}
+        BaselineChecksum(BaselineChecksum),
+        DeadlineIterations(DeadlineIterations) {}
 
-  double evaluate(const search::Point &P, bool &Valid) override {
-    Valid = false;
+  search::EvalOutcome assess(const search::Point &P) override {
+    using search::EvalOutcome;
+    using search::FailureKind;
     std::unique_ptr<cir::Program> Variant = Baseline.clone();
     transform::TransformContext TCtx;
     TCtx.RequireDeps = Opts.RequireDeps;
@@ -109,28 +114,52 @@ public:
     TCtx.Snippets = Opts.Snippets;
     lang::LocusInterpreter Interp(LProg, Registry);
     lang::ExecOutcome Exec = Interp.applyPoint(*Variant, P, TCtx);
-    if (!Exec.Ok || Exec.InvalidPoint)
-      return 0;
+    if (!Exec.Ok)
+      return EvalOutcome::fail(FailureKind::TransformIllegal, Exec.Error);
+    if (Exec.InvalidPoint)
+      return EvalOutcome::fail(Exec.IllegalTransform
+                                   ? FailureKind::TransformIllegal
+                                   : FailureKind::InvalidPoint,
+                               Exec.InvalidReason);
 
-    eval::ProgramEvaluator Eval(*Variant, Opts.Eval);
-    if (!Eval.prepare().ok())
-      return 0;
+    // Deadline guard: a variant that runs vastly longer than the baseline
+    // cannot win the non-prescriptive selection anyway; cut it off instead
+    // of running to the evaluator's global runaway budget.
+    eval::EvalOptions EOpts = Opts.Eval;
+    if (DeadlineIterations > 0)
+      EOpts.MaxIterations = std::min(EOpts.MaxIterations, DeadlineIterations);
+
+    eval::ProgramEvaluator Eval(*Variant, EOpts);
+    Status Prep = Eval.prepare();
+    if (!Prep.ok())
+      return EvalOutcome::fail(FailureKind::PrepareFailed, Prep.message());
     if (Opts.InitHook)
       Opts.InitHook(Eval);
     eval::RunResult Run = Eval.run();
-    if (!Run.Ok)
-      return 0;
+    if (!Run.Ok) {
+      bool DeadlineHit =
+          Run.Error.find("iteration budget exceeded") != std::string::npos;
+      return EvalOutcome::fail(DeadlineHit ? FailureKind::BudgetExceeded
+                                           : FailureKind::RuntimeTrap,
+                               Run.Error);
+    }
+    if (!std::isfinite(Run.Cycles))
+      return EvalOutcome::fail(FailureKind::MetricUnstable,
+                               "non-finite cycle metric");
     // A variant that computes different results is an illegal rewrite the
     // legality machinery missed (or a forced transformation); reject it so
     // the search cannot exploit broken code. Skipped when the baseline is a
     // non-executable skeleton (NaN reference).
     if (!std::isnan(BaselineChecksum)) {
       double Tol = 1e-6 * std::max(1.0, std::abs(BaselineChecksum));
-      if (std::abs(Run.Checksum - BaselineChecksum) > Tol)
-        return 0;
+      if (std::isnan(Run.Checksum) ||
+          std::abs(Run.Checksum - BaselineChecksum) > Tol)
+        return EvalOutcome::fail(FailureKind::ChecksumMismatch,
+                                 "checksum " + std::to_string(Run.Checksum) +
+                                     " vs baseline " +
+                                     std::to_string(BaselineChecksum));
     }
-    Valid = true;
-    return Run.Cycles;
+    return EvalOutcome::success(Run.Cycles);
   }
 
 private:
@@ -139,7 +168,16 @@ private:
   const cir::Program &Baseline;
   const OrchestratorOptions &Opts;
   double BaselineChecksum;
+  uint64_t DeadlineIterations;
 };
+
+bool fileExists(const std::string &Path) {
+  if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
+    std::fclose(F);
+    return true;
+  }
+  return false;
+}
 
 } // namespace
 
@@ -173,17 +211,55 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
     Result.BaselineCycles = std::numeric_limits<double>::infinity();
   }
 
+  // Per-variant deadline derived from the baseline run (guard 1).
+  uint64_t DeadlineIterations = 0;
+  if (BaselineRunnable && Opts.VariantDeadlineFactor > 0 &&
+      BaseRun->LoopIterations > 0) {
+    double Budget = Opts.VariantDeadlineFactor *
+                    static_cast<double>(BaseRun->LoopIterations);
+    DeadlineIterations = Budget >= static_cast<double>(UINT64_MAX)
+                             ? UINT64_MAX
+                             : static_cast<uint64_t>(Budget);
+  }
+
   // Drive the search module.
   std::unique_ptr<search::Searcher> Searcher =
       search::makeSearcher(Opts.SearcherName);
   if (!Searcher)
     return Expected<SearchWorkflowResult>::error("unknown search module: " +
                                                  Opts.SearcherName);
-  VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum);
+  VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum,
+                       DeadlineIterations);
+  // Guards 2+3: bounded retry of unstable metrics, quarantine of repeat
+  // offenders.
+  search::GuardedObjective Guarded(Obj, Opts.Guard);
   search::SearchOptions SOpts;
   SOpts.MaxEvaluations = Opts.MaxEvaluations;
   SOpts.Seed = Opts.Seed;
-  Result.Search = Searcher->search(Result.Space, Obj, SOpts);
+
+  // Crash-safe journal: reload an interrupted run, then append every fresh
+  // evaluation.
+  search::SearchJournal Journal;
+  if (!Opts.JournalPath.empty()) {
+    if (Opts.ResumeFromJournal && fileExists(Opts.JournalPath)) {
+      auto Loaded = search::SearchJournal::load(Opts.JournalPath, Result.Space);
+      if (!Loaded.ok())
+        return Expected<SearchWorkflowResult>::error(
+            "cannot resume from journal " + Opts.JournalPath + ": " +
+            Loaded.message());
+      SOpts.Replay = std::move(Loaded->Records);
+    }
+    auto J = search::SearchJournal::open(Opts.JournalPath);
+    if (!J.ok())
+      return Expected<SearchWorkflowResult>::error(J.message());
+    Journal = std::move(*J);
+    SOpts.OnFreshEval = [&Journal](const search::EvalRecord &Rec) {
+      (void)Journal.append(Rec);
+    };
+  }
+
+  Result.Search = Searcher->search(Result.Space, Guarded, SOpts);
+  Result.Guard = Guarded.stats();
 
   // Non-prescriptive selection (Section II): keep the baseline when no
   // variant improves on it.
@@ -212,62 +288,12 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
 }
 
 std::string serializePoint(const search::Point &P) {
-  std::ostringstream Out;
-  for (const auto &[Id, V] : P.Values) {
-    Out << Id << " = ";
-    if (const auto *I = std::get_if<int64_t>(&V))
-      Out << "i:" << *I;
-    else if (const auto *D = std::get_if<double>(&V))
-      Out << "f:" << *D;
-    else if (const auto *S = std::get_if<std::string>(&V))
-      Out << "s:" << *S;
-    else if (const auto *Perm = std::get_if<std::vector<int>>(&V)) {
-      Out << "p:";
-      for (size_t I = 0; I < Perm->size(); ++I)
-        Out << (I ? "," : "") << (*Perm)[I];
-    }
-    Out << "\n";
-  }
-  return Out.str();
+  return search::serializePoint(P);
 }
 
 Expected<search::Point> deserializePoint(const std::string &Text,
                                          const search::Space &Space) {
-  search::Point P;
-  for (const std::string &Line : splitString(Text, '\n')) {
-    std::string_view Trimmed = trimString(Line);
-    if (Trimmed.empty())
-      continue;
-    size_t Eq = Trimmed.find(" = ");
-    if (Eq == std::string_view::npos)
-      return Expected<search::Point>::error("malformed point line: " + Line);
-    std::string Id(Trimmed.substr(0, Eq));
-    std::string_view Rest = Trimmed.substr(Eq + 3);
-    if (Rest.size() < 2 || Rest[1] != ':')
-      return Expected<search::Point>::error("malformed point value: " + Line);
-    char Tag = Rest[0];
-    std::string Body(Rest.substr(2));
-    if (Tag == 'i')
-      P.Values[Id] = static_cast<int64_t>(std::stoll(Body));
-    else if (Tag == 'f')
-      P.Values[Id] = std::stod(Body);
-    else if (Tag == 's')
-      P.Values[Id] = Body;
-    else if (Tag == 'p') {
-      std::vector<int> Perm;
-      for (const std::string &Part : splitString(Body, ','))
-        if (!Part.empty())
-          Perm.push_back(std::atoi(Part.c_str()));
-      P.Values[Id] = std::move(Perm);
-    } else {
-      return Expected<search::Point>::error("unknown point value tag: " + Line);
-    }
-  }
-  // Sanity: every space parameter should be pinned.
-  for (const search::ParamDef &Def : Space.Params)
-    if (!P.Values.count(Def.Id))
-      return Expected<search::Point>::error("point does not pin " + Def.Id);
-  return P;
+  return search::deserializePoint(Text, Space);
 }
 
 } // namespace driver

@@ -21,6 +21,7 @@
 #include "src/locus/Interpreter.h"
 #include "src/locus/LocusAst.h"
 #include "src/locus/Optimizer.h"
+#include "src/search/FaultTolerance.h"
 #include "src/search/Search.h"
 
 #include <functional>
@@ -53,6 +54,22 @@ struct OrchestratorOptions {
   /// Hook to initialize evaluator inputs (index arrays, scalars) before
   /// each run; may be empty.
   std::function<void(eval::ProgramEvaluator &)> InitHook;
+  /// Per-variant deadline: abort a variant (BudgetExceeded) once it runs
+  /// more than this factor times the baseline's loop iterations, instead of
+  /// letting a pathological variant burn the global iteration budget. 0
+  /// disables; ignored when the baseline is not executable.
+  double VariantDeadlineFactor = 8.0;
+  /// Guard policy: bounded retries for unstable metrics and quarantining of
+  /// repeat-offender points.
+  search::GuardOptions Guard;
+  /// Path of the crash-safe JSONL search journal; empty disables
+  /// journaling. Every fresh evaluation is appended and fsynced.
+  std::string JournalPath;
+  /// When the journal file already exists, reload it and resume the
+  /// interrupted search: journaled evaluations replay into the searcher's
+  /// dedup/history state and count toward MaxEvaluations, so the run
+  /// finishes the remaining budget exactly as the uninterrupted run would.
+  bool ResumeFromJournal = false;
 };
 
 /// Result of the direct workflow.
@@ -75,6 +92,8 @@ struct SearchWorkflowResult {
   bool BaselineChosen = false;
   std::unique_ptr<cir::Program> BestProgram;
   eval::RunResult BestRun;
+  /// Guard activity during the search (retries, quarantines).
+  search::GuardStats Guard;
 };
 
 class Orchestrator {
@@ -116,9 +135,10 @@ private:
 };
 
 /// Serializes a point as "id=value" lines (the shippable pinned recipe).
+/// Forwards to search::serializePoint (src/search/PointCodec.h).
 std::string serializePoint(const search::Point &P);
 
-/// Parses a serialized point back.
+/// Parses a serialized point back; validated, never throws.
 Expected<search::Point> deserializePoint(const std::string &Text,
                                          const search::Space &Space);
 

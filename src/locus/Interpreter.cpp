@@ -82,10 +82,11 @@ private:
       Err = "locus line " + std::to_string(Line) + ": " + Message;
   }
 
-  void invalidate(const std::string &Reason) {
+  void invalidate(const std::string &Reason, bool IllegalTransform = false) {
     if (!Outcome.InvalidPoint) {
       Outcome.InvalidPoint = true;
       Outcome.InvalidReason = Reason;
+      Outcome.IllegalTransform = IllegalTransform;
     }
   }
 
@@ -893,7 +894,8 @@ private:
     case transform::TransformStatus::NoOp:
       return O.Ret;
     case transform::TransformStatus::Illegal:
-      invalidate(Module + "." + Member + " illegal: " + O.Result.Message);
+      invalidate(Module + "." + Member + " illegal: " + O.Result.Message,
+                 /*IllegalTransform=*/true);
       return Value::none();
     case transform::TransformStatus::Error:
       invalidate(Module + "." + Member + " error: " + O.Result.Message);

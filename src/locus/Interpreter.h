@@ -49,6 +49,10 @@ struct ExecOutcome {
   bool InvalidPoint = false;
   std::string InvalidReason;
 
+  /// The invalidation came from a transformation module reporting Illegal
+  /// (failed legality check) rather than from a constraint on the point.
+  bool IllegalTransform = false;
+
   /// print output, in order.
   std::vector<std::string> Log;
 

@@ -1,0 +1,72 @@
+//===- FaultInjection.h - Fault-injection harness ---------------*- C++ -*-===//
+///
+/// \file
+/// A decorator that injects classified failures into an Objective with a
+/// configurable probability, kind mix, and deterministic seed. The fault
+/// decision is a pure function of (point key, seed), so the clean subspace
+/// is stable across runs and across independently-constructed injectors —
+/// tests can compute the known-best clean point exactly and assert the
+/// searchers still find it while a third of the space is on fire.
+///
+/// MetricUnstable is special: it models flakiness, not a broken variant, so
+/// an unstable point recovers (returns the clean metric) after
+/// UnstableAttempts failed assessments. This is what the retry guard in
+/// GuardedObjective is tested against.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_FAULTINJECTION_H
+#define LOCUS_SEARCH_FAULTINJECTION_H
+
+#include "src/search/Search.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace locus {
+namespace search {
+
+struct FaultInjectionOptions {
+  /// Probability that a point is selected for failure injection.
+  double FailureProbability = 0.3;
+  /// Deterministic seed; same seed + same point => same injected kind.
+  uint64_t Seed = 0x10c05;
+  /// Relative weights of the injected kinds; empty means an equal mix of
+  /// all seven failure kinds. Entries with kind None are ignored.
+  std::vector<std::pair<FailureKind, double>> KindMix;
+  /// Injected MetricUnstable failures clear after this many assessments of
+  /// the point (the measurement "stabilizes"); <= 0 makes them permanent.
+  int UnstableAttempts = 1;
+};
+
+class FaultInjectingObjective : public Objective {
+public:
+  FaultInjectingObjective(Objective &Inner, FaultInjectionOptions Opts = {});
+
+  /// The deterministic per-point fault decision (None = clean). Stateless:
+  /// it does not consume randomness or record anything.
+  FailureKind classify(const Point &P) const;
+
+  EvalOutcome assess(const Point &P) override;
+
+  /// Per-kind counts of failures actually injected.
+  const std::array<int, NumFailureKinds> &injectedCounts() const {
+    return Injected;
+  }
+  /// Number of assessments passed through to the inner objective.
+  int cleanCalls() const { return Clean; }
+
+private:
+  Objective &Inner;
+  FaultInjectionOptions Opts;
+  std::vector<std::pair<FailureKind, double>> Mix; ///< normalized KindMix
+  double TotalWeight = 0;
+  std::map<std::string, int> UnstableSeen;
+  std::array<int, NumFailureKinds> Injected{};
+  int Clean = 0;
+};
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_FAULTINJECTION_H

@@ -1,0 +1,45 @@
+//===- FaultTolerance.cpp - Evaluation guards -----------------------------===//
+
+#include "src/search/FaultTolerance.h"
+
+namespace locus {
+namespace search {
+
+EvalOutcome GuardedObjective::assess(const Point &P) {
+  std::string Key = P.key();
+  auto QIt = QuarantineReason.find(Key);
+  if (QIt != QuarantineReason.end()) {
+    ++Stats.QuarantineRejects;
+    return QIt->second;
+  }
+
+  EvalOutcome Out = Inner.assess(P);
+  for (int Attempt = 0;
+       Out.Failure == FailureKind::MetricUnstable &&
+       Attempt < Opts.MaxUnstableRetries;
+       ++Attempt) {
+    ++Stats.UnstableRetries;
+    Out = Inner.assess(P);
+    if (Out.ok())
+      ++Stats.UnstableRecovered;
+  }
+
+  if (Out.ok()) {
+    FailStreak.erase(Key);
+    return Out;
+  }
+
+  if (Opts.QuarantineThreshold > 0 &&
+      ++FailStreak[Key] >= Opts.QuarantineThreshold) {
+    ++Stats.QuarantinedPoints;
+    Quarantined.insert(Key);
+    EvalOutcome Cached = Out;
+    Cached.Detail += " [quarantined]";
+    QuarantineReason.emplace(Key, std::move(Cached));
+    FailStreak.erase(Key);
+  }
+  return Out;
+}
+
+} // namespace search
+} // namespace locus

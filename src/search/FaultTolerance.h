@@ -1,0 +1,73 @@
+//===- FaultTolerance.h - Evaluation guards ---------------------*- C++ -*-===//
+///
+/// \file
+/// Guard policy around an Objective. Empirical tuning objectives misbehave
+/// in two ways the searchers themselves should not have to know about:
+///
+///  - flaky measurements (MetricUnstable): worth a bounded number of
+///    retries before the point is written off;
+///  - repeat offenders: a point that keeps failing is quarantined so no
+///    future proposal spends evaluator time on it again.
+///
+/// GuardedObjective decorates any Objective with both policies and keeps
+/// counters for reporting. Per-variant deadlines — the third guard — live
+/// in the driver's VariantObjective, which derives an iteration budget from
+/// the baseline run (see OrchestratorOptions::VariantDeadlineFactor).
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_FAULTTOLERANCE_H
+#define LOCUS_SEARCH_FAULTTOLERANCE_H
+
+#include "src/search/Search.h"
+
+#include <map>
+#include <set>
+#include <string>
+
+namespace locus {
+namespace search {
+
+struct GuardOptions {
+  /// Extra assessments attempted when a result is MetricUnstable before the
+  /// failure is accepted.
+  int MaxUnstableRetries = 2;
+  /// Number of failed assessments of the same point before it is
+  /// quarantined (served a cached failure without re-evaluating); 0
+  /// disables quarantining.
+  int QuarantineThreshold = 3;
+};
+
+struct GuardStats {
+  int UnstableRetries = 0;   ///< retry attempts issued
+  int UnstableRecovered = 0; ///< retries that produced a clean result
+  int QuarantinedPoints = 0; ///< distinct points placed in quarantine
+  int QuarantineRejects = 0; ///< assessments served from quarantine
+};
+
+class GuardedObjective : public Objective {
+public:
+  explicit GuardedObjective(Objective &Inner, GuardOptions Opts = {})
+      : Inner(Inner), Opts(Opts) {}
+
+  EvalOutcome assess(const Point &P) override;
+
+  const GuardStats &stats() const { return Stats; }
+  bool isQuarantined(const Point &P) const {
+    return Quarantined.count(P.key()) != 0;
+  }
+
+private:
+  Objective &Inner;
+  GuardOptions Opts;
+  GuardStats Stats;
+  /// Failure streak per point key; cleared on success.
+  std::map<std::string, int> FailStreak;
+  /// Quarantined point keys with the failure that put them there.
+  std::map<std::string, EvalOutcome> QuarantineReason;
+  std::set<std::string> Quarantined;
+};
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_FAULTTOLERANCE_H

@@ -1,0 +1,307 @@
+//===- Journal.cpp - Crash-safe search journal ----------------------------===//
+
+#include "src/search/Journal.h"
+
+#include "src/search/PointCodec.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#if __has_include(<unistd.h>)
+#include <unistd.h>
+#define LOCUS_HAVE_FSYNC 1
+#endif
+
+namespace locus {
+namespace search {
+
+namespace {
+
+void appendEscaped(std::string &Out, std::string_view S) {
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+}
+
+/// Parses a JSON string starting at Text[Pos] (which must be '"'); advances
+/// Pos past the closing quote.
+bool parseJsonString(std::string_view Text, size_t &Pos, std::string &Out) {
+  if (Pos >= Text.size() || Text[Pos] != '"')
+    return false;
+  ++Pos;
+  Out.clear();
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '"') {
+      ++Pos;
+      return true;
+    }
+    if (C == '\\') {
+      if (Pos + 1 >= Text.size())
+        return false;
+      char E = Text[Pos + 1];
+      Pos += 2;
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return false;
+        unsigned Code = 0;
+        auto R = std::from_chars(Text.data() + Pos, Text.data() + Pos + 4,
+                                 Code, 16);
+        if (R.ec != std::errc() || R.ptr != Text.data() + Pos + 4)
+          return false;
+        Pos += 4;
+        // Journal strings only escape control bytes this way.
+        Out += static_cast<char>(Code);
+        break;
+      }
+      default:
+        return false;
+      }
+      continue;
+    }
+    Out += C;
+    ++Pos;
+  }
+  return false; // unterminated
+}
+
+void skipSpace(std::string_view Text, size_t &Pos) {
+  while (Pos < Text.size() && (Text[Pos] == ' ' || Text[Pos] == '\t'))
+    ++Pos;
+}
+
+bool expectChar(std::string_view Text, size_t &Pos, char C) {
+  skipSpace(Text, Pos);
+  if (Pos >= Text.size() || Text[Pos] != C)
+    return false;
+  ++Pos;
+  return true;
+}
+
+bool parseJsonNumber(std::string_view Text, size_t &Pos, double &Out) {
+  skipSpace(Text, Pos);
+  size_t End = Pos;
+  while (End < Text.size() &&
+         (std::isdigit(static_cast<unsigned char>(Text[End])) ||
+          Text[End] == '-' || Text[End] == '+' || Text[End] == '.' ||
+          Text[End] == 'e' || Text[End] == 'E'))
+    ++End;
+  if (End == Pos)
+    return false;
+  auto R = std::from_chars(Text.data() + Pos, Text.data() + End, Out);
+  if (R.ec != std::errc() || R.ptr != Text.data() + End)
+    return false;
+  Pos = End;
+  return true;
+}
+
+} // namespace
+
+Expected<SearchJournal> SearchJournal::open(const std::string &Path) {
+  std::FILE *F = std::fopen(Path.c_str(), "ab");
+  if (!F)
+    return Expected<SearchJournal>::error("cannot open journal for append: " +
+                                          Path);
+  SearchJournal J;
+  J.Stream = F;
+  return J;
+}
+
+void SearchJournal::close() {
+  if (Stream) {
+    std::fclose(Stream);
+    Stream = nullptr;
+  }
+}
+
+Status SearchJournal::append(const EvalRecord &R) {
+  if (!Stream)
+    return Status::error("journal is not open");
+  std::string Line = encodeLine(R);
+  Line += '\n';
+  if (std::fwrite(Line.data(), 1, Line.size(), Stream) != Line.size())
+    return Status::error("short write to journal");
+  if (std::fflush(Stream) != 0)
+    return Status::error("cannot flush journal");
+#if LOCUS_HAVE_FSYNC
+  // Crash safety: the record must hit stable storage before the search
+  // spends more budget on its successors.
+  fsync(fileno(Stream));
+#endif
+  return Status::success();
+}
+
+std::string SearchJournal::encodeLine(const EvalRecord &R) {
+  std::string Out = "{\"point\":\"";
+  appendEscaped(Out, serializePoint(R.P));
+  Out += "\",\"metric\":";
+  // Failed records carry an infinite sentinel metric that JSON cannot
+  // express; the metric is recomputed from the failure kind on replay.
+  double Metric = std::isfinite(R.Metric) ? R.Metric : 0;
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.17g", Metric);
+  Out += Buf;
+  Out += ",\"failure\":\"";
+  appendEscaped(Out, failureKindName(R.Failure));
+  Out += "\",\"detail\":\"";
+  appendEscaped(Out, R.Detail);
+  Out += "\"}";
+  return Out;
+}
+
+Expected<EvalRecord> SearchJournal::decodeLine(const std::string &Line,
+                                               const Space &S) {
+  std::string_view Text = Line;
+  size_t Pos = 0;
+  if (!expectChar(Text, Pos, '{'))
+    return Expected<EvalRecord>::error("journal line is not a JSON object");
+
+  std::string PointText, FailureName, Detail;
+  bool HavePoint = false, HaveMetric = false, HaveFailure = false;
+  double Metric = 0;
+
+  while (true) {
+    skipSpace(Text, Pos);
+    std::string Key;
+    if (!parseJsonString(Text, Pos, Key))
+      return Expected<EvalRecord>::error("malformed journal key");
+    if (!expectChar(Text, Pos, ':'))
+      return Expected<EvalRecord>::error("missing ':' in journal line");
+    skipSpace(Text, Pos);
+    if (Key == "metric") {
+      if (!parseJsonNumber(Text, Pos, Metric))
+        return Expected<EvalRecord>::error("malformed journal metric");
+      HaveMetric = true;
+    } else {
+      std::string Value;
+      if (!parseJsonString(Text, Pos, Value))
+        return Expected<EvalRecord>::error("malformed journal value for " +
+                                           Key);
+      if (Key == "point") {
+        PointText = std::move(Value);
+        HavePoint = true;
+      } else if (Key == "failure") {
+        FailureName = std::move(Value);
+        HaveFailure = true;
+      } else if (Key == "detail") {
+        Detail = std::move(Value);
+      }
+      // Unknown string keys are ignored (forward compatibility).
+    }
+    skipSpace(Text, Pos);
+    if (Pos < Text.size() && Text[Pos] == ',') {
+      ++Pos;
+      continue;
+    }
+    break;
+  }
+  if (!expectChar(Text, Pos, '}'))
+    return Expected<EvalRecord>::error("unterminated journal line");
+  if (!HavePoint || !HaveMetric || !HaveFailure)
+    return Expected<EvalRecord>::error("journal line misses a required key");
+
+  bool KindOk = false;
+  FailureKind Kind = parseFailureKind(FailureName, KindOk);
+  if (!KindOk)
+    return Expected<EvalRecord>::error("unknown failure kind: " + FailureName);
+
+  Expected<Point> P = deserializePoint(PointText, S);
+  if (!P.ok())
+    return Expected<EvalRecord>::error("journal point does not match space: " +
+                                       P.message());
+
+  EvalRecord R;
+  R.P = std::move(*P);
+  R.Failure = Kind;
+  R.Valid = Kind == FailureKind::None;
+  R.Metric = R.Valid ? Metric : std::numeric_limits<double>::infinity();
+  R.Detail = std::move(Detail);
+  return R;
+}
+
+Expected<SearchJournal::LoadResult>
+SearchJournal::load(const std::string &Path, const Space &S) {
+  LoadResult Result;
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return Result; // a missing journal is an empty journal
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  std::string Text = Buf.str();
+
+  size_t Pos = 0;
+  while (Pos < Text.size()) {
+    size_t Nl = Text.find('\n', Pos);
+    bool TornTail = Nl == std::string::npos;
+    std::string Line =
+        Text.substr(Pos, TornTail ? std::string::npos : Nl - Pos);
+    Pos = TornTail ? Text.size() : Nl + 1;
+    if (Line.empty())
+      continue;
+    Expected<EvalRecord> R = decodeLine(Line, S);
+    if (!R.ok()) {
+      // A line missing its terminating newline is the one the crashed
+      // writer was in the middle of; discard it. Undecodable but complete
+      // lines (including points from a different space) are real errors.
+      if (TornTail) {
+        Result.DroppedTailLines = 1;
+        break;
+      }
+      return Expected<LoadResult>::error("corrupt journal line: " +
+                                         R.message());
+    }
+    Result.Records.push_back(std::move(*R));
+  }
+  return Result;
+}
+
+} // namespace search
+} // namespace locus

@@ -1,0 +1,87 @@
+//===- Journal.h - Crash-safe search journal --------------------*- C++ -*-===//
+///
+/// \file
+/// An append-only JSONL journal of evaluation records. Long tuning runs die
+/// — machines reboot, jobs hit walltime, evaluators wedge — and without a
+/// journal every assessed variant is lost with them. Each fresh evaluation
+/// is appended as one JSON line and flushed (fflush + fsync) before the
+/// search continues, so at most the line being written when the process
+/// died is lost. SearchJournal::load tolerates exactly that: a torn final
+/// line is discarded; corruption anywhere else is an error.
+///
+/// Line schema (one EvalRecord):
+///   {"point":"<serialized point>","metric":<double>,
+///    "failure":"<FailureKind name>","detail":"<string>"}
+///
+/// Loaded records feed SearchOptions::Replay, which replays the interrupted
+/// run's trajectory through the searcher before fresh evaluations resume.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_JOURNAL_H
+#define LOCUS_SEARCH_JOURNAL_H
+
+#include "src/search/Search.h"
+#include "src/support/Error.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace search {
+
+class SearchJournal {
+public:
+  SearchJournal() = default;
+  ~SearchJournal() { close(); }
+  SearchJournal(SearchJournal &&Other) noexcept : Stream(Other.Stream) {
+    Other.Stream = nullptr;
+  }
+  SearchJournal &operator=(SearchJournal &&Other) noexcept {
+    if (this != &Other) {
+      close();
+      Stream = Other.Stream;
+      Other.Stream = nullptr;
+    }
+    return *this;
+  }
+  SearchJournal(const SearchJournal &) = delete;
+  SearchJournal &operator=(const SearchJournal &) = delete;
+
+  /// Opens \p Path for appending, creating it when absent.
+  static Expected<SearchJournal> open(const std::string &Path);
+
+  /// Appends one record as a JSON line and forces it to stable storage.
+  Status append(const EvalRecord &R);
+
+  bool isOpen() const { return Stream != nullptr; }
+  void close();
+
+  struct LoadResult {
+    std::vector<EvalRecord> Records;
+    /// Number of discarded torn tail lines (0 or 1): the line the crashed
+    /// writer was in the middle of.
+    int DroppedTailLines = 0;
+  };
+
+  /// Loads a journal and validates every point against \p Space. A missing
+  /// file or an empty file loads as zero records. A record whose point does
+  /// not pin the space (a journal written for a different space) is an
+  /// error, as is corruption anywhere but the final line.
+  static Expected<LoadResult> load(const std::string &Path, const Space &S);
+
+  /// Encodes one record as a JSON line (no trailing newline).
+  static std::string encodeLine(const EvalRecord &R);
+
+  /// Decodes one JSON line; the point is validated against \p Space.
+  static Expected<EvalRecord> decodeLine(const std::string &Line,
+                                         const Space &S);
+
+private:
+  std::FILE *Stream = nullptr;
+};
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_JOURNAL_H

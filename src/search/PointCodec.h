@@ -1,0 +1,34 @@
+//===- PointCodec.h - Point (de)serialization -------------------*- C++ -*-===//
+///
+/// \file
+/// Textual encoding of search points: one "id = tag:body" line per pinned
+/// parameter (i: int64, f: double, s: string, p: comma-separated
+/// permutation). This is the shippable pinned-recipe format of Section II
+/// and the point payload inside journal lines. Parsing is strict — every
+/// numeric body must consume fully via std::from_chars; malformed input
+/// yields an error instead of a silently-wrong point.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_POINTCODEC_H
+#define LOCUS_SEARCH_POINTCODEC_H
+
+#include "src/search/Space.h"
+#include "src/support/Error.h"
+
+#include <string>
+
+namespace locus {
+namespace search {
+
+/// Serializes a point as "id = tag:body" lines.
+std::string serializePoint(const Point &P);
+
+/// Parses a serialized point back and checks that every parameter of
+/// \p Space is pinned. Extra ids are preserved (a point may pin more than
+/// the space being validated against, e.g. an empty probe space).
+Expected<Point> deserializePoint(const std::string &Text, const Space &Space);
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_POINTCODEC_H

@@ -24,31 +24,105 @@
 #include "src/search/Space.h"
 #include "src/support/Rng.h"
 
+#include <array>
 #include <functional>
 #include <limits>
 #include <memory>
 #include <string>
+#include <string_view>
 
 namespace locus {
 namespace search {
 
-/// Evaluation callback: returns the metric of a point (lower is better) and
-/// sets Valid=false when the point does not produce a runnable variant.
+/// Why an assessment failed. Empirical search over composed loop
+/// transformations lives on failed points (Kruse & Finkel report large
+/// invalid fractions in such spaces); collapsing every mode into one bool
+/// hides whether a search is fighting illegal rewrites, crashing variants,
+/// or a flaky measurement. The taxonomy is threaded from the interpreter
+/// and evaluator through every searcher into per-kind counters.
+enum class FailureKind : uint8_t {
+  None = 0,         ///< success
+  TransformIllegal, ///< the transformation recipe itself failed to execute
+  InvalidPoint,     ///< dependent-range violation / module reported Illegal
+  PrepareFailed,    ///< variant did not compile on the evaluator
+  RuntimeTrap,      ///< variant crashed while running (OOB, bad index, ...)
+  BudgetExceeded,   ///< variant blew its per-variant deadline
+  ChecksumMismatch, ///< variant computed different results than the baseline
+  MetricUnstable,   ///< measurement was non-finite / non-reproducible
+};
+
+inline constexpr int NumFailureKinds = 8;
+
+/// Stable name of a failure kind ("None", "RuntimeTrap", ...).
+const char *failureKindName(FailureKind K);
+
+/// Parses a failure-kind name; sets Ok=false (and returns None) on unknown
+/// names.
+FailureKind parseFailureKind(std::string_view Name, bool &Ok);
+
+/// The outcome of assessing one point: a metric (lower is better) or a
+/// classified failure with a human-readable detail.
+struct EvalOutcome {
+  double Metric = std::numeric_limits<double>::infinity();
+  FailureKind Failure = FailureKind::None;
+  std::string Detail;
+
+  bool ok() const { return Failure == FailureKind::None; }
+
+  static EvalOutcome success(double Metric) {
+    EvalOutcome O;
+    O.Metric = Metric;
+    return O;
+  }
+  static EvalOutcome fail(FailureKind K, std::string Detail = "") {
+    EvalOutcome O;
+    O.Failure = K;
+    O.Detail = std::move(Detail);
+    return O;
+  }
+};
+
+/// Evaluation callback: assesses a point and reports a metric or a
+/// classified failure.
 class Objective {
 public:
   virtual ~Objective() = default;
-  virtual double evaluate(const Point &P, bool &Valid) = 0;
+  virtual EvalOutcome assess(const Point &P) = 0;
+
+  /// Legacy adapter: metric plus a validity flag (failure kinds erased).
+  double evaluate(const Point &P, bool &Valid) {
+    EvalOutcome O = assess(P);
+    Valid = O.ok();
+    return Valid ? O.Metric : 0;
+  }
 };
 
-/// Convenience adapter over a lambda.
+/// Convenience adapter over a lambda, in either the outcome-returning or the
+/// legacy (metric, Valid&) form; the latter maps Valid=false to InvalidPoint.
 class LambdaObjective : public Objective {
 public:
   using Fn = std::function<double(const Point &, bool &)>;
-  explicit LambdaObjective(Fn F) : F(std::move(F)) {}
-  double evaluate(const Point &P, bool &Valid) override { return F(P, Valid); }
+  using OutcomeFn = std::function<EvalOutcome(const Point &)>;
+  explicit LambdaObjective(OutcomeFn F) : F(std::move(F)) {}
+  explicit LambdaObjective(Fn Legacy)
+      : F([G = std::move(Legacy)](const Point &P) {
+          bool Valid = false;
+          double Metric = G(P, Valid);
+          return Valid ? EvalOutcome::success(Metric)
+                       : EvalOutcome::fail(FailureKind::InvalidPoint);
+        }) {}
+  EvalOutcome assess(const Point &P) override { return F(P); }
 
 private:
-  Fn F;
+  OutcomeFn F;
+};
+
+struct EvalRecord {
+  Point P;
+  double Metric = 0;
+  bool Valid = false; ///< convenience mirror of Failure == None
+  FailureKind Failure = FailureKind::InvalidPoint;
+  std::string Detail;
 };
 
 struct SearchOptions {
@@ -56,22 +130,33 @@ struct SearchOptions {
   /// e.g. 1,000 for DGEMM and 500 per extracted loop nest).
   int MaxEvaluations = 100;
   uint64_t Seed = 42;
-};
-
-struct EvalRecord {
-  Point P;
-  double Metric = 0;
-  bool Valid = false;
+  /// Records reloaded from a crash-safe journal. A proposal matching a
+  /// replayed record consumes its cached outcome without calling the
+  /// objective, counts toward the budget, and (because the searcher sees
+  /// exactly what the original run saw) reproduces the interrupted run's
+  /// trajectory before fresh evaluations continue it.
+  std::vector<EvalRecord> Replay;
+  /// Journal sink: called once per fresh (non-replayed) evaluation, in
+  /// order. Used to append to the on-disk journal.
+  std::function<void(const EvalRecord &)> OnFreshEval;
 };
 
 struct SearchResult {
   bool Found = false;
   Point Best;
   double BestMetric = std::numeric_limits<double>::infinity();
-  int Evaluations = 0;       ///< distinct variants actually assessed
-  int InvalidPoints = 0;     ///< points rejected as invalid
-  int DuplicatesSkipped = 0; ///< proposals identical to evaluated variants
+  int Evaluations = 0;         ///< distinct variants assessed (incl. replay)
+  int ReplayedEvaluations = 0; ///< of those, satisfied from Replay
+  int InvalidPoints = 0;       ///< points rejected as invalid (any kind)
+  int DuplicatesSkipped = 0;   ///< proposals identical to evaluated variants
+  /// Per-kind failure counts, indexed by FailureKind; the entries other
+  /// than None sum to InvalidPoints.
+  std::array<int, NumFailureKinds> FailureCounts{};
   std::vector<EvalRecord> History;
+
+  int failures(FailureKind K) const {
+    return FailureCounts[static_cast<size_t>(K)];
+  }
 };
 
 /// A search module.

@@ -10,6 +10,39 @@
 namespace locus {
 namespace search {
 
+const char *failureKindName(FailureKind K) {
+  switch (K) {
+  case FailureKind::None:
+    return "None";
+  case FailureKind::TransformIllegal:
+    return "TransformIllegal";
+  case FailureKind::InvalidPoint:
+    return "InvalidPoint";
+  case FailureKind::PrepareFailed:
+    return "PrepareFailed";
+  case FailureKind::RuntimeTrap:
+    return "RuntimeTrap";
+  case FailureKind::BudgetExceeded:
+    return "BudgetExceeded";
+  case FailureKind::ChecksumMismatch:
+    return "ChecksumMismatch";
+  case FailureKind::MetricUnstable:
+    return "MetricUnstable";
+  }
+  return "None";
+}
+
+FailureKind parseFailureKind(std::string_view Name, bool &Ok) {
+  Ok = true;
+  for (int I = 0; I < NumFailureKinds; ++I) {
+    FailureKind K = static_cast<FailureKind>(I);
+    if (Name == failureKindName(K))
+      return K;
+  }
+  Ok = false;
+  return FailureKind::None;
+}
+
 namespace {
 
 //===----------------------------------------------------------------------===//
@@ -132,12 +165,18 @@ namespace {
 class EvalDriver {
 public:
   EvalDriver(Objective &Obj, const SearchOptions &Opts, SearchResult &Result)
-      : Obj(Obj), Opts(Opts), Result(Result) {}
+      : Obj(Obj), Opts(Opts), Result(Result) {
+    for (const EvalRecord &R : Opts.Replay)
+      ReplayCache.emplace(R.P.key(), R);
+  }
 
   bool budgetLeft() const { return Result.Evaluations < Opts.MaxEvaluations; }
 
   /// Evaluates a point unless it was already assessed; returns true when a
-  /// fresh evaluation happened. Metric/Valid describe the outcome either way.
+  /// (fresh or replayed) evaluation happened. Metric/Valid describe the
+  /// outcome either way. A point with a journal-replayed record consumes the
+  /// cached outcome without calling the objective, so a resumed search walks
+  /// the interrupted run's exact trajectory.
   bool evaluate(const Point &P, double &Metric, bool &Valid) {
     std::string Key = P.key();
     auto It = Seen.find(Key);
@@ -147,15 +186,35 @@ public:
       Valid = It->second.second;
       return false;
     }
-    Valid = false;
-    Metric = Obj.evaluate(P, Valid);
+    EvalOutcome Out;
+    auto RIt = ReplayCache.find(Key);
+    bool Replayed = RIt != ReplayCache.end();
+    if (Replayed) {
+      Out.Metric = RIt->second.Metric;
+      Out.Failure = RIt->second.Failure;
+      Out.Detail = RIt->second.Detail;
+      ReplayCache.erase(RIt);
+      ++Result.ReplayedEvaluations;
+    } else {
+      Out = Obj.assess(P);
+    }
     ++Result.Evaluations;
+    Valid = Out.ok();
+    Metric = Valid ? Out.Metric : std::numeric_limits<double>::infinity();
     Seen[Key] = {Metric, Valid};
     if (!Valid) {
       ++Result.InvalidPoints;
-      Metric = std::numeric_limits<double>::infinity();
+      ++Result.FailureCounts[static_cast<size_t>(Out.Failure)];
     }
-    Result.History.push_back(EvalRecord{P, Metric, Valid});
+    EvalRecord Rec;
+    Rec.P = P;
+    Rec.Metric = Metric;
+    Rec.Valid = Valid;
+    Rec.Failure = Out.Failure;
+    Rec.Detail = std::move(Out.Detail);
+    Result.History.push_back(std::move(Rec));
+    if (!Replayed && Opts.OnFreshEval)
+      Opts.OnFreshEval(Result.History.back());
     if (Valid && Metric < Result.BestMetric) {
       Result.BestMetric = Metric;
       Result.Best = P;
@@ -176,6 +235,7 @@ private:
   const SearchOptions &Opts;
   SearchResult &Result;
   std::map<std::string, std::pair<double, bool>> Seen;
+  std::map<std::string, EvalRecord> ReplayCache;
   bool Improved = false;
 };
 
@@ -499,17 +559,21 @@ public:
       double Metric;
       bool Valid;
       bool Fresh = Driver.evaluate(P, Metric, Valid);
-      if (!Fresh) {
-        ++Stale;
-        continue; // the paper notes OpenTuner avoids re-assessing variants
-      }
-      Stale = 0;
-      bool NewBest = Driver.takeImproved();
+      // A duplicate proposal is negative feedback for the arm that produced
+      // it. Crediting it keeps the bandit state moving during duplicate
+      // streaks; otherwise pickArm's inputs freeze and the same exhausted
+      // arm is chosen until the stale limit aborts the search.
+      bool NewBest = Fresh && Driver.takeImproved();
       auto &Hist = Window[static_cast<size_t>(Arm)];
       Hist.push_back(NewBest ? 1 : 0);
       if (Hist.size() > WindowCap)
         Hist.erase(Hist.begin());
       ++Uses[static_cast<size_t>(Arm)];
+      if (!Fresh) {
+        ++Stale;
+        continue; // the paper notes OpenTuner avoids re-assessing variants
+      }
+      Stale = 0;
       if (Valid)
         recordElite(Elites, Metric, P);
     }
@@ -585,6 +649,11 @@ public:
       Point P;
       if (static_cast<int>(History.size()) < Startup) {
         P = samplePoint(S, R);
+      } else if (Stale > 0 && R.chance(0.5)) {
+        // The model proposed an already-assessed point last round; its
+        // density estimate has concentrated on exhausted ground. Fall back
+        // to uniform exploration until a proposal lands somewhere fresh.
+        P = samplePoint(S, R);
       } else {
         P = propose(S, History, R);
       }
@@ -596,8 +665,10 @@ public:
         continue;
       }
       Stale = 0;
-      if (Valid)
-        History.emplace_back(Metric, P);
+      // Failed points enter the history with their infinite sentinel metric:
+      // they sort to the bad tail of the split, so the density ratio steers
+      // proposals away from the failing subspace instead of forgetting it.
+      History.emplace_back(Metric, P);
     }
     return Result;
   }

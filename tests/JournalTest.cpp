@@ -1,0 +1,409 @@
+//===- JournalTest.cpp - Point codec and crash-safe journal tests --------===//
+
+#include "src/driver/Orchestrator.h"
+#include "src/search/Journal.h"
+#include "src/search/PointCodec.h"
+#include "src/search/Search.h"
+#include "src/workloads/Workloads.h"
+
+#include "src/cir/Parser.h"
+#include "src/locus/LocusParser.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace locus {
+namespace {
+
+using namespace search;
+
+/// A scratch file removed on scope exit.
+struct TempFile {
+  std::string Path;
+  explicit TempFile(const std::string &Name)
+      : Path(std::string(::testing::TempDir()) + Name) {
+    std::remove(Path.c_str());
+  }
+  ~TempFile() { std::remove(Path.c_str()); }
+};
+
+Space smallSpace() {
+  Space S;
+  ParamDef A;
+  A.Id = "a";
+  A.Label = "a";
+  A.Kind = ParamKind::Pow2;
+  A.Min = 2;
+  A.Max = 64;
+  S.Params.push_back(A);
+  ParamDef B;
+  B.Id = "b";
+  B.Label = "b";
+  B.Kind = ParamKind::IntRange;
+  B.Min = 0;
+  B.Max = 15;
+  S.Params.push_back(B);
+  return S;
+}
+
+double synthetic(const Point &P, bool &Valid) {
+  Valid = true;
+  double A = static_cast<double>(P.getInt("a"));
+  double B = static_cast<double>(P.getInt("b"));
+  return std::abs(std::log2(A) - 4.0) * 3 + std::abs(B - 7.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Point codec
+//===----------------------------------------------------------------------===//
+
+TEST(PointCodec, RoundTripAllValueKinds) {
+  Point P;
+  P.Values["int"] = int64_t(-42);
+  P.Values["big"] = int64_t(1) << 40;
+  P.Values["float"] = 0.125;
+  P.Values["name"] = std::string("ZGD");
+  P.Values["perm"] = std::vector<int>{2, 0, 1};
+  std::string Text = serializePoint(P);
+  Space Empty;
+  auto Back = deserializePoint(Text, Empty);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->key(), P.key());
+  EXPECT_EQ(Back->getInt("int"), -42);
+  EXPECT_EQ(Back->getInt("big"), int64_t(1) << 40);
+  EXPECT_DOUBLE_EQ(Back->getFloat("float"), 0.125);
+  EXPECT_EQ(Back->getString("name"), "ZGD");
+  EXPECT_EQ(Back->getPerm("perm"), (std::vector<int>{2, 0, 1}));
+}
+
+TEST(PointCodec, DriverForwardersAgree) {
+  Point P;
+  P.Values["a"] = int64_t(16);
+  EXPECT_EQ(driver::serializePoint(P), serializePoint(P));
+  Space Empty;
+  auto Back = driver::deserializePoint(serializePoint(P), Empty);
+  ASSERT_TRUE(Back.ok());
+  EXPECT_EQ(Back->key(), P.key());
+}
+
+TEST(PointCodec, MalformedInputsAreErrorsNotCrashes) {
+  Space Empty;
+  // No " = " separator.
+  EXPECT_FALSE(deserializePoint("a i:4\n", Empty).ok());
+  // Missing tag separator.
+  EXPECT_FALSE(deserializePoint("a = 4\n", Empty).ok());
+  // Unknown tag.
+  EXPECT_FALSE(deserializePoint("a = q:4\n", Empty).ok());
+  // Non-numeric integer body (stoll would have thrown here).
+  EXPECT_FALSE(deserializePoint("a = i:abc\n", Empty).ok());
+  // Trailing garbage after the number.
+  EXPECT_FALSE(deserializePoint("a = i:12x\n", Empty).ok());
+  // Empty integer body.
+  EXPECT_FALSE(deserializePoint("a = i:\n", Empty).ok());
+  // Malformed float.
+  EXPECT_FALSE(deserializePoint("a = f:1.2.3\n", Empty).ok());
+  // Garbage permutation entry (atoi would have yielded 0 here).
+  EXPECT_FALSE(deserializePoint("a = p:1,x,2\n", Empty).ok());
+  // Huge integer that overflows int64.
+  EXPECT_FALSE(deserializePoint("a = i:99999999999999999999999\n", Empty).ok());
+}
+
+TEST(PointCodec, UnpinnedParameterIsAnError) {
+  Space S = smallSpace();
+  auto R = deserializePoint("a = i:16\n", S); // "b" missing
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("does not pin b"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Journal encode/decode and load
+//===----------------------------------------------------------------------===//
+
+EvalRecord makeRecord(int64_t A, int64_t B, double Metric, FailureKind K,
+                      const std::string &Detail = "") {
+  EvalRecord R;
+  R.P.Values["a"] = A;
+  R.P.Values["b"] = B;
+  R.Failure = K;
+  R.Valid = K == FailureKind::None;
+  R.Metric = R.Valid ? Metric : std::numeric_limits<double>::infinity();
+  R.Detail = Detail;
+  return R;
+}
+
+TEST(Journal, LineRoundTripIncludingEscapes) {
+  Space S = smallSpace();
+  EvalRecord R = makeRecord(16, 7, 123.5, FailureKind::None,
+                            "detail with \"quotes\",\nnewline\tand \\slash");
+  std::string Line = SearchJournal::encodeLine(R);
+  EXPECT_EQ(Line.find('\n'), std::string::npos) << "journal lines are single";
+  auto Back = SearchJournal::decodeLine(Line, S);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->P.key(), R.P.key());
+  EXPECT_DOUBLE_EQ(Back->Metric, R.Metric);
+  EXPECT_EQ(Back->Failure, FailureKind::None);
+  EXPECT_TRUE(Back->Valid);
+  EXPECT_EQ(Back->Detail, R.Detail);
+}
+
+TEST(Journal, FailedRecordRoundTripsKindAndInfiniteMetric) {
+  Space S = smallSpace();
+  EvalRecord R = makeRecord(8, 3, 0, FailureKind::ChecksumMismatch, "boom");
+  auto Back = SearchJournal::decodeLine(SearchJournal::encodeLine(R), S);
+  ASSERT_TRUE(Back.ok()) << Back.message();
+  EXPECT_EQ(Back->Failure, FailureKind::ChecksumMismatch);
+  EXPECT_FALSE(Back->Valid);
+  EXPECT_TRUE(std::isinf(Back->Metric));
+}
+
+TEST(Journal, AppendThenLoad) {
+  Space S = smallSpace();
+  TempFile F("journal_append.jsonl");
+  {
+    auto J = SearchJournal::open(F.Path);
+    ASSERT_TRUE(J.ok()) << J.message();
+    ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
+    ASSERT_TRUE(
+        J->append(makeRecord(2, 0, 0, FailureKind::RuntimeTrap, "trap")).ok());
+    ASSERT_TRUE(J->append(makeRecord(32, 9, 20, FailureKind::None)).ok());
+  }
+  auto Loaded = SearchJournal::load(F.Path, S);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.message();
+  EXPECT_EQ(Loaded->DroppedTailLines, 0);
+  ASSERT_EQ(Loaded->Records.size(), 3u);
+  EXPECT_TRUE(Loaded->Records[0].Valid);
+  EXPECT_EQ(Loaded->Records[1].Failure, FailureKind::RuntimeTrap);
+  EXPECT_EQ(Loaded->Records[1].Detail, "trap");
+  EXPECT_EQ(Loaded->Records[2].P.key(), makeRecord(32, 9, 0, FailureKind::None).P.key());
+}
+
+TEST(Journal, EmptyAndMissingJournalsLoadAsEmpty) {
+  Space S = smallSpace();
+  TempFile F("journal_empty.jsonl");
+  { std::ofstream(F.Path); } // create empty
+  auto Loaded = SearchJournal::load(F.Path, S);
+  ASSERT_TRUE(Loaded.ok());
+  EXPECT_TRUE(Loaded->Records.empty());
+  auto Missing = SearchJournal::load(F.Path + ".nope", S);
+  ASSERT_TRUE(Missing.ok());
+  EXPECT_TRUE(Missing->Records.empty());
+}
+
+TEST(Journal, TruncatedLastLineIsDropped) {
+  Space S = smallSpace();
+  TempFile F("journal_torn.jsonl");
+  {
+    auto J = SearchJournal::open(F.Path);
+    ASSERT_TRUE(J.ok());
+    ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
+    ASSERT_TRUE(J->append(makeRecord(4, 2, 30, FailureKind::None)).ok());
+  }
+  // Simulate a crash mid-append: a torn line with no terminating newline.
+  {
+    std::ofstream Out(F.Path, std::ios::app | std::ios::binary);
+    Out << "{\"point\":\"a = i:8\\nb = i:1\\n\",\"met";
+  }
+  auto Loaded = SearchJournal::load(F.Path, S);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.message();
+  EXPECT_EQ(Loaded->DroppedTailLines, 1);
+  ASSERT_EQ(Loaded->Records.size(), 2u);
+}
+
+TEST(Journal, CorruptMiddleLineIsAnError) {
+  Space S = smallSpace();
+  TempFile F("journal_corrupt.jsonl");
+  {
+    std::ofstream Out(F.Path, std::ios::binary);
+    Out << SearchJournal::encodeLine(makeRecord(16, 7, 10, FailureKind::None))
+        << "\n";
+    Out << "not json at all\n";
+    Out << SearchJournal::encodeLine(makeRecord(4, 2, 30, FailureKind::None))
+        << "\n";
+  }
+  auto Loaded = SearchJournal::load(F.Path, S);
+  EXPECT_FALSE(Loaded.ok());
+}
+
+TEST(Journal, JournalFromDifferentSpaceIsAnError) {
+  Space Other;
+  ParamDef X;
+  X.Id = "x";
+  X.Label = "x";
+  X.Kind = ParamKind::IntRange;
+  X.Min = 0;
+  X.Max = 3;
+  Other.Params.push_back(X);
+
+  TempFile F("journal_space.jsonl");
+  {
+    auto J = SearchJournal::open(F.Path);
+    ASSERT_TRUE(J.ok());
+    // Records written against smallSpace (params a, b).
+    ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
+  }
+  auto Loaded = SearchJournal::load(F.Path, Other);
+  ASSERT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.message().find("does not match space"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Kill-and-resume at the search layer
+//===----------------------------------------------------------------------===//
+
+class KillAndResume : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(KillAndResume, ResumedRunMatchesUninterruptedRun) {
+  Space S = smallSpace();
+  const int FullBudget = 60;
+  const size_t KillAfter = 23;
+
+  SearchOptions Base;
+  Base.MaxEvaluations = FullBudget;
+  Base.Seed = 99;
+
+  // Uninterrupted reference run, journaled as it goes.
+  TempFile F(std::string("journal_resume_") + GetParam() + ".jsonl");
+  SearchResult Ref;
+  {
+    auto J = SearchJournal::open(F.Path);
+    ASSERT_TRUE(J.ok());
+    LambdaObjective RefObj(synthetic);
+    SearchOptions Opts = Base;
+    Opts.OnFreshEval = [&](const EvalRecord &R) {
+      ASSERT_TRUE(J->append(R).ok());
+    };
+    Ref = makeSearcher(GetParam())->search(S, RefObj, Opts);
+  }
+
+  // Simulate the kill: a crashed process leaves a prefix of the history in
+  // its journal. Truncate to the first KillAfter records.
+  {
+    std::ifstream In(F.Path);
+    std::string Text, Line;
+    size_t Kept = 0;
+    while (Kept < KillAfter && std::getline(In, Line)) {
+      Text += Line;
+      Text += '\n';
+      ++Kept;
+    }
+    ASSERT_EQ(Kept, KillAfter) << "reference run journaled too few records";
+    In.close();
+    std::ofstream Out(F.Path, std::ios::trunc | std::ios::binary);
+    Out << Text;
+  }
+
+  // Resume: replay the journal, finish the budget.
+  auto Loaded = SearchJournal::load(F.Path, S);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.message();
+  ASSERT_EQ(Loaded->Records.size(), KillAfter);
+
+  int FreshCalls = 0;
+  LambdaObjective CountedObj(
+      LambdaObjective::OutcomeFn([&FreshCalls](const Point &P) {
+        ++FreshCalls;
+        bool Valid = true;
+        return EvalOutcome::success(synthetic(P, Valid));
+      }));
+  SearchOptions Resume = Base;
+  Resume.Replay = std::move(Loaded->Records);
+  SearchResult Resumed = makeSearcher(GetParam())->search(S, CountedObj, Resume);
+
+  // Same trajectory: same best point, same distinct-evaluation count, and
+  // the objective only ran for the un-journaled remainder.
+  EXPECT_EQ(Resumed.Best.key(), Ref.Best.key());
+  EXPECT_EQ(Resumed.BestMetric, Ref.BestMetric);
+  EXPECT_EQ(Resumed.Evaluations, Ref.Evaluations);
+  EXPECT_EQ(Resumed.ReplayedEvaluations, static_cast<int>(KillAfter));
+  EXPECT_EQ(FreshCalls, Ref.Evaluations - Resumed.ReplayedEvaluations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Searchers, KillAndResume,
+                         ::testing::Values("random", "hillclimb", "de",
+                                           "bandit", "tpe", "exhaustive"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Kill-and-resume through the Orchestrator
+//===----------------------------------------------------------------------===//
+
+TEST(Journal, OrchestratorResumesInterruptedSearch) {
+  auto LP = lang::parseLocusProgram(workloads::dgemmLocusFig5());
+  ASSERT_TRUE(LP.ok()) << LP.message();
+  auto CP = cir::parseProgram(workloads::dgemmSource(24, 24, 24));
+  ASSERT_TRUE(CP.ok()) << CP.message();
+
+  driver::OrchestratorOptions Opts;
+  Opts.Eval.Machine = machine::MachineConfig::tiny();
+  Opts.Seed = 5;
+  Opts.SearcherName = "bandit";
+  Opts.MaxEvaluations = 24;
+
+  // Uninterrupted reference.
+  driver::Orchestrator Ref(**LP, **CP, Opts);
+  auto RefR = Ref.runSearch();
+  ASSERT_TRUE(RefR.ok()) << RefR.message();
+
+  // Interrupted at 9 evaluations, journaled.
+  TempFile F("orch_resume.jsonl");
+  {
+    driver::OrchestratorOptions Part = Opts;
+    Part.MaxEvaluations = 9;
+    Part.JournalPath = F.Path;
+    driver::Orchestrator Orch(**LP, **CP, Part);
+    auto R = Orch.runSearch();
+    ASSERT_TRUE(R.ok()) << R.message();
+    EXPECT_LE(R->Search.Evaluations, 9);
+  }
+
+  // Resumed with the full budget.
+  driver::OrchestratorOptions Res = Opts;
+  Res.JournalPath = F.Path;
+  Res.ResumeFromJournal = true;
+  driver::Orchestrator Orch(**LP, **CP, Res);
+  auto R = Orch.runSearch();
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_EQ(R->Search.ReplayedEvaluations, 9);
+  EXPECT_EQ(R->Search.Evaluations, RefR->Search.Evaluations);
+  EXPECT_EQ(R->Search.Best.key(), RefR->Search.Best.key());
+  EXPECT_DOUBLE_EQ(R->BestCycles, RefR->BestCycles);
+  EXPECT_EQ(R->BaselineChosen, RefR->BaselineChosen);
+
+  // The journal now holds the full history and resuming again replays all
+  // of it without fresh evaluations.
+  driver::Orchestrator Again(**LP, **CP, Res);
+  auto R2 = Again.runSearch();
+  ASSERT_TRUE(R2.ok()) << R2.message();
+  EXPECT_EQ(R2->Search.ReplayedEvaluations, R2->Search.Evaluations);
+  EXPECT_EQ(R2->Search.Best.key(), RefR->Search.Best.key());
+}
+
+TEST(Journal, OrchestratorRejectsForeignJournal) {
+  auto LP = lang::parseLocusProgram(workloads::dgemmLocusFig5());
+  ASSERT_TRUE(LP.ok());
+  auto CP = cir::parseProgram(workloads::dgemmSource(24, 24, 24));
+  ASSERT_TRUE(CP.ok());
+
+  TempFile F("orch_foreign.jsonl");
+  {
+    auto J = SearchJournal::open(F.Path);
+    ASSERT_TRUE(J.ok());
+    ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
+  }
+  driver::OrchestratorOptions Opts;
+  Opts.Eval.Machine = machine::MachineConfig::tiny();
+  Opts.MaxEvaluations = 6;
+  Opts.JournalPath = F.Path;
+  Opts.ResumeFromJournal = true;
+  driver::Orchestrator Orch(**LP, **CP, Opts);
+  auto R = Orch.runSearch();
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("cannot resume"), std::string::npos);
+}
+
+} // namespace
+} // namespace locus
