@@ -22,9 +22,22 @@
 //                         JSONL journal, fsynced per record)
 //   --resume              reload an existing --journal file and continue the
 //                         interrupted search where it left off
+//   --lint                static diagnostics only: run the CIR verifier on
+//                         the source and warn about regions where dependence
+//                         analysis is unavailable but the optimization
+//                         program wants dependence-based transformations;
+//                         prints nothing and exits 0 when everything is clean
+//   --verify-each         run the CIR verifier after every applied
+//                         transformation (variants failing verification are
+//                         rejected as illegal)
+//   --no-static-prune     disable the static legality oracle (every point
+//                         reaches the evaluator)
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/analysis/Dependence.h"
+#include "src/analysis/TransformPlan.h"
+#include "src/analysis/Verifier.h"
 #include "src/cir/Parser.h"
 #include "src/cir/Printer.h"
 #include "src/driver/Orchestrator.h"
@@ -35,6 +48,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 
 using namespace locus;
@@ -64,9 +78,89 @@ int usage(const char *Argv0) {
                "       [--machine xeon|tiny] [--cores N]\n"
                "       [--emit-c FILE] [--export-direct FILE]\n"
                "       [--export-point FILE] [--native]\n"
-               "       [--journal FILE] [--resume]\n",
+               "       [--journal FILE] [--resume]\n"
+               "       [--lint] [--verify-each] [--no-static-prune]\n",
                Argv0);
   return 2;
+}
+
+/// The outermost loops of a region (descending through plain blocks only).
+void collectOuterLoops(const cir::Block &B,
+                       std::vector<const cir::ForStmt *> &Out) {
+  for (const cir::StmtPtr &S : B.Stmts) {
+    if (const auto *For = cir::dyn_cast<cir::ForStmt>(S.get()))
+      Out.push_back(For);
+    else if (const auto *Blk = cir::dyn_cast<cir::Block>(S.get()))
+      collectOuterLoops(*Blk, Out);
+  }
+}
+
+/// Static diagnostics: CIR verifier findings plus dependence-availability
+/// warnings for regions the optimization program wants to transform with
+/// dependence-based modules. Always exits 0 (lint never gates a build).
+int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
+  support::DiagEngine Diags;
+  analysis::verifyProgram(Baseline, Diags);
+
+  // Which regions have dependence information on their outer loop nests?
+  std::map<std::string, bool> DepAvailable;
+  for (const std::string &Name : Baseline.regionNames()) {
+    bool Available = true;
+    for (const cir::Block *Region : Baseline.findRegions(Name)) {
+      std::vector<const cir::ForStmt *> Loops;
+      collectOuterLoops(*Region, Loops);
+      for (const cir::ForStmt *For : Loops) {
+        support::Diag Why;
+        if (!analysis::DependenceInfo::compute(*For, &Why)) {
+          Available = false;
+          if (!Why.Message.empty()) {
+            Why.Region = Name;
+            Diags.report(Why.Sev, Why.Loc, Why.Region, Why.Message);
+          }
+        }
+      }
+    }
+    DepAvailable[Name] = Available;
+  }
+
+  // Extract the plan and flag dependence-based transformations aimed at
+  // regions without dependence information: at run time those calls will be
+  // rejected (RequireDeps) or applied blindly.
+  static const std::set<std::string> NeedsDeps = {
+      "Tiling", "GenericTiling", "Interchange",
+      "UnrollAndJam", "Fusion", "Distribute"};
+  std::unique_ptr<cir::Program> Clone = Baseline.clone();
+  transform::TransformContext TCtx;
+  TCtx.Prog = Clone.get();
+  lang::ModuleRegistry Registry = lang::ModuleRegistry::standard();
+  lang::LocusInterpreter Interp(Prog, Registry);
+  search::Space Space;
+  analysis::TransformPlan Plan;
+  lang::ExecOutcome Exec = Interp.extractSpace(*Clone, Space, TCtx, &Plan);
+  if (Exec.Ok) {
+    std::set<std::string> Seen;
+    for (const analysis::PlanEntry &E : Plan.Entries) {
+      if (E.K != analysis::PlanEntry::Kind::ModuleCall ||
+          !NeedsDeps.count(E.Member))
+        continue;
+      auto It = DepAvailable.find(E.Region);
+      if (It == DepAvailable.end() || It->second)
+        continue;
+      std::string Key = E.Module + "." + E.Member + "@" + E.Region;
+      if (!Seen.insert(Key).second)
+        continue;
+      Diags.warning({}, E.Region,
+                    E.Module + "." + E.Member + " (optimization program line " +
+                        std::to_string(E.Line) +
+                        ") transforms a region without dependence "
+                        "information; its legality cannot be checked");
+    }
+  }
+
+  for (const support::Diag &D : Diags.all())
+    if (D.Sev != support::DiagSeverity::Note)
+      std::printf("%s\n", D.render().c_str());
+  return 0;
 }
 
 } // namespace
@@ -77,7 +171,7 @@ int main(int argc, char **argv) {
   std::string ProgramPath = argv[1];
   std::string SourcePath = argv[2];
 
-  bool Direct = false, Native = false;
+  bool Direct = false, Native = false, Lint = false;
   std::string PointPath, EmitC, ExportDirect, ExportPoint;
   driver::OrchestratorOptions Opts;
   Opts.MaxEvaluations = 100;
@@ -90,6 +184,12 @@ int main(int argc, char **argv) {
       Direct = true;
     } else if (Arg == "--native") {
       Native = true;
+    } else if (Arg == "--lint") {
+      Lint = true;
+    } else if (Arg == "--verify-each") {
+      Opts.VerifyEach = true;
+    } else if (Arg == "--no-static-prune") {
+      Opts.StaticPrune = false;
     } else if (Arg == "--point") {
       if (const char *V = Next())
         PointPath = V;
@@ -156,6 +256,9 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (Lint)
+    return runLint(**Prog, **Baseline);
+
   driver::Orchestrator Orch(**Prog, **Baseline, Opts);
 
   std::unique_ptr<cir::Program> Best;
@@ -206,6 +309,8 @@ int main(int argc, char **argv) {
                 R->Search.DuplicatesSkipped);
     if (R->Search.ReplayedEvaluations > 0)
       std::printf(", %d replayed from journal", R->Search.ReplayedEvaluations);
+    if (R->Search.PrunedStatic > 0)
+      std::printf(", %d pruned statically", R->Search.PrunedStatic);
     std::printf(")\n");
     for (int K = 1; K < search::NumFailureKinds; ++K)
       if (int N = R->Search.FailureCounts[static_cast<size_t>(K)])

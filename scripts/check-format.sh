@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Checks that every C++ source conforms to .clang-format.
+#
+# Exits 0 when everything is clean OR when clang-format is not installed
+# (prints a notice so CI logs show the check was skipped, not passed).
+# Exits 1 listing the offending files otherwise.
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "check-format: '$CLANG_FORMAT' not found; skipping format check" >&2
+  exit 0
+fi
+
+mapfile -t FILES < <(git ls-files '*.cpp' '*.h')
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "check-format: no C++ sources found" >&2
+  exit 0
+fi
+
+BAD=()
+for F in "${FILES[@]}"; do
+  if ! "$CLANG_FORMAT" --dry-run -Werror "$F" >/dev/null 2>&1; then
+    BAD+=("$F")
+  fi
+done
+
+if [ "${#BAD[@]}" -ne 0 ]; then
+  echo "check-format: ${#BAD[@]} file(s) need formatting:" >&2
+  printf '  %s\n' "${BAD[@]}" >&2
+  echo "run: $CLANG_FORMAT -i ${BAD[*]}" >&2
+  exit 1
+fi
+
+echo "check-format: ${#FILES[@]} files clean"

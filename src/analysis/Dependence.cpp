@@ -3,8 +3,10 @@
 #include "src/analysis/Dependence.h"
 
 #include "src/cir/AstUtils.h"
+#include "src/cir/Printer.h"
 
 #include <algorithm>
+#include <array>
 #include <functional>
 #include <numeric>
 #include <set>
@@ -55,10 +57,22 @@ bool mergeDir(char &Slot, char New) {
 /// that everything needed for dependence testing is affine.
 struct DependenceBuilder {
   bool Affine = true;
+  support::Diag *WhyNot = nullptr;
   std::vector<const ForStmt *> LoopStack;
   std::set<std::string> LoopVars;
   std::set<std::string> WrittenScalars;
   DependenceInfo Info;
+
+  /// Marks the analysis unavailable, capturing the first reason (with its
+  /// source location) for diagnostics when the caller asked for one.
+  void nonAffine(support::SrcLoc Loc, const std::string &Msg) {
+    if (Affine && WhyNot) {
+      WhyNot->Sev = support::DiagSeverity::Warning;
+      WhyNot->Loc = Loc;
+      WhyNot->Message = Msg;
+    }
+    Affine = false;
+  }
 
   void run(const ForStmt &Root) {
     // First pass: find scalars written inside the nest (they participate in
@@ -107,7 +121,8 @@ struct DependenceBuilder {
     case StmtKind::If: {
       const auto *I = cast<IfStmt>(&S);
       // Conditionals make exact dependence testing unavailable here.
-      Affine = false;
+      nonAffine(S.Loc, "conditional statement inside the nest: dependence "
+                       "analysis unavailable");
       visitBlock(*I->Then);
       if (I->Else)
         visitBlock(*I->Else);
@@ -138,7 +153,9 @@ struct DependenceBuilder {
     }
     case StmtKind::CallStmt:
       // Unknown call inside the nest: cannot reason about its effects.
-      Affine = false;
+      nonAffine(S.Loc, "call `" + printExpr(*cast<CallStmt>(&S)->Call) +
+                           "` has unknown effects: dependence analysis "
+                           "unavailable");
       Info.LeafStmts.push_back(&S);
       return;
     }
@@ -154,7 +171,9 @@ struct DependenceBuilder {
       for (const auto &Sub : A->Indices) {
         std::optional<AffineExpr> Aff = toAffine(*Sub);
         if (!Aff) {
-          Affine = false;
+          nonAffine(Sub->Loc.valid() ? Sub->Loc : E.Loc,
+                    "subscript `" + A->Name + "[" + printExpr(*Sub) +
+                        "]` is non-affine: dependence analysis unavailable");
           return;
         }
         // Subscripts referencing scalars that are written in the nest are
@@ -162,7 +181,11 @@ struct DependenceBuilder {
         for (const auto &[Name, Coeff] : Aff->coeffs()) {
           (void)Coeff;
           if (WrittenScalars.count(Name) && !LoopVars.count(Name))
-            Affine = false;
+            nonAffine(Sub->Loc.valid() ? Sub->Loc : E.Loc,
+                      "subscript `" + A->Name + "[" + printExpr(*Sub) +
+                          "]` reads scalar '" + Name +
+                          "' written inside the nest: dependence analysis "
+                          "unavailable");
         }
         Acc.Subs.push_back(std::move(*Aff));
       }
@@ -207,7 +230,9 @@ struct DependenceBuilder {
       const auto *C = cast<CallExpr>(&E);
       if (C->Callee != "min" && C->Callee != "max" && C->Callee != "sqrt" &&
           C->Callee != "fabs")
-        Affine = false;
+        nonAffine(E.Loc, "call to '" + C->Callee +
+                             "' is not a known pure intrinsic: dependence "
+                             "analysis unavailable");
       for (const auto &A : C->Args)
         addReads(*A, Leaf);
       return;
@@ -297,9 +322,35 @@ struct DependenceBuilder {
     Classify(FA, A, CA, OA, PA);
     Classify(FB, B, CB, OB, PB);
 
-    // Mismatched symbolic parameter parts: conservatively unknown.
-    if (PA != PB)
-      return true;
+    // Mismatched symbolic parameter parts: the constant distance is unknown,
+    // but a symbolic GCD test still proves independence when every
+    // coefficient of the parameter difference is a multiple of the gcd of
+    // the loop-variable coefficients while the constant difference is not.
+    if (PA != PB) {
+      std::map<std::string, int64_t> PD = PA;
+      for (const auto &[Name, Coeff] : PB)
+        PD[Name] -= Coeff;
+      int64_t G = 0;
+      for (const auto &[Name, Coeff] : CA)
+        (void)Name, G = gcd64(G, Coeff);
+      for (const auto &[Name, Coeff] : CB)
+        (void)Name, G = gcd64(G, Coeff);
+      for (const auto &[Name, Coeff] : OA)
+        (void)Name, G = gcd64(G, Coeff);
+      for (const auto &[Name, Coeff] : OB)
+        (void)Name, G = gcd64(G, Coeff);
+      if (G != 0) {
+        bool ParamsDivisible = true;
+        for (const auto &[Name, Coeff] : PD) {
+          (void)Name;
+          if (Coeff % G != 0)
+            ParamsDivisible = false;
+        }
+        if (ParamsDivisible && (FA.constant() - FB.constant()) % G != 0)
+          return false; // symbolic GCD proves independence
+      }
+      return true; // otherwise conservatively unknown
+    }
 
     if (CA.empty() && CB.empty() && OA.empty() && OB.empty()) {
       // ZIV: pure constants (plus matching params).
@@ -337,6 +388,68 @@ struct DependenceBuilder {
       return true;
     }
 
+    // Constant iteration range {first value, last value, step} of the common
+    // loop driving \p Var, when its bounds are compile-time constants.
+    auto ConstRange =
+        [&](const std::string &Var) -> std::optional<std::array<int64_t, 3>> {
+      for (size_t L = 0; L < Common; ++L) {
+        const ForStmt *Loop = A.Loops[L];
+        if (Loop->Var != Var)
+          continue;
+        std::optional<int64_t> Lo = evalConstInt(*Loop->Init);
+        std::optional<int64_t> Hi = evalConstInt(*Loop->Bound);
+        if (!Lo || !Hi || Loop->Step <= 0)
+          return std::nullopt;
+        int64_t Last = Loop->Op == BoundOp::Lt ? *Hi - 1 : *Hi;
+        return std::array<int64_t, 3>{*Lo, Last, Loop->Step};
+      }
+      return std::nullopt;
+    };
+
+    // Weak-zero SIV: a*i + c1 against a constant c2. A dependence needs the
+    // single iteration i0 = (c2 - c1)/a; independent when i0 is fractional
+    // or falls outside the loop's constant iteration range.
+    if (OA.empty() && OB.empty() &&
+        ((CA.size() == 1 && CB.empty()) || (CA.empty() && CB.size() == 1))) {
+      const auto &VarSide = CA.empty() ? CB : CA;
+      const std::string &Var = VarSide.begin()->first;
+      int64_t Coeff = VarSide.begin()->second;
+      int64_t Diff = CA.empty() ? FA.constant() - FB.constant()
+                                : FB.constant() - FA.constant();
+      if (Coeff != 0) {
+        if (Diff % Coeff != 0)
+          return false; // no integer solution: independent
+        int64_t I0 = Diff / Coeff;
+        if (std::optional<std::array<int64_t, 3>> R = ConstRange(Var)) {
+          auto [Lo, Hi, Step] = *R;
+          if (I0 < Lo || I0 > Hi || (I0 - Lo) % Step != 0)
+            return false; // solution outside the iteration space
+        }
+      }
+      return true; // realizable (or range unknown): directions stay '*'
+    }
+
+    // Weak-crossing SIV: a*i + c1 against -a*i + c2. A dependence needs
+    // iterations i1, i2 with i1 + i2 = (c2 - c1)/a; independent when no such
+    // pair exists in the loop's constant iteration range.
+    if (OA.empty() && OB.empty() && CA.size() == 1 && CB.size() == 1 &&
+        CA.begin()->first == CB.begin()->first &&
+        CA.begin()->second == -CB.begin()->second &&
+        CA.begin()->second != 0) {
+      const std::string &Var = CA.begin()->first;
+      int64_t Coeff = CA.begin()->second;
+      int64_t Diff = FB.constant() - FA.constant();
+      if (Diff % Coeff != 0)
+        return false; // crossing point is not at an integer multiple
+      int64_t Sum = Diff / Coeff; // i1 + i2 at the crossing
+      if (std::optional<std::array<int64_t, 3>> R = ConstRange(Var)) {
+        auto [Lo, Hi, Step] = *R;
+        if (Sum < 2 * Lo || Sum > 2 * Hi || (Sum - 2 * Lo) % Step != 0)
+          return false; // no iteration pair reaches the crossing
+      }
+      return true; // realizable crossing: directions stay '*'
+    }
+
     // GCD test over all loop-variable coefficients.
     int64_t G = 0;
     for (const auto &[Name, Coeff] : CA)
@@ -354,8 +467,10 @@ struct DependenceBuilder {
   }
 };
 
-std::optional<DependenceInfo> DependenceInfo::compute(const ForStmt &Root) {
+std::optional<DependenceInfo>
+DependenceInfo::compute(const ForStmt &Root, support::Diag *WhyNot) {
   DependenceBuilder Builder;
+  Builder.WhyNot = WhyNot;
   Builder.run(Root);
   if (!Builder.Affine)
     return std::nullopt;

@@ -17,6 +17,7 @@
 
 #include "src/analysis/Affine.h"
 #include "src/cir/Ast.h"
+#include "src/support/Diag.h"
 
 #include <optional>
 #include <string>
@@ -60,7 +61,12 @@ class DependenceInfo {
 public:
   /// Analyzes the nest rooted at \p Root. Returns nullopt when dependences
   /// cannot be computed (non-affine subscripts/bounds, unknown calls).
-  static std::optional<DependenceInfo> compute(const cir::ForStmt &Root);
+  /// When \p WhyNot is non-null and the analysis is unavailable, it is
+  /// filled with a located diagnostic explaining the first construct that
+  /// defeated the analysis (e.g. "subscript `A[B[i]]` is non-affine:
+  /// dependence analysis unavailable").
+  static std::optional<DependenceInfo>
+  compute(const cir::ForStmt &Root, support::Diag *WhyNot = nullptr);
 
   const std::vector<Dependence> &deps() const { return Deps; }
   const std::vector<Access> &accesses() const { return Accesses; }

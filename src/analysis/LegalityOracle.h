@@ -1,0 +1,98 @@
+//===- LegalityOracle.h - Static legality classification -------*- C++ -*-===//
+///
+/// \file
+/// Classifies search points as provably invalid BEFORE a variant is
+/// materialized, from the TransformPlan recorded during space extraction.
+/// Two failure sources are modeled:
+///
+///  - dependent-range violations: RangeCheck entries are evaluated directly
+///    against the point (the bounds are constants or other parameters);
+///  - illegal/erroneous module calls: ModuleCall entries whose arguments
+///    fully resolve are REPLAYED, through the same module registry the
+///    interpreter uses, on a cached clone of the baseline program. A module
+///    reporting Illegal/Error yields the same failure the concrete run
+///    would produce; a module that applies extends the cached region state
+///    for the next entry.
+///
+/// Replay per region is incremental: a prefix cache keyed by the sequence of
+/// applied calls means points sharing a transformation prefix (e.g. the same
+/// tiling under different unroll factors) reuse the materialized state.
+/// Whenever an entry cannot be modeled — unresolvable arguments, an entry
+/// under an unknown conditional, overlapping or multiply-instantiated
+/// regions — the affected region is poisoned and classification degrades to
+/// "cannot prove" (nullopt), never to a wrong prediction. The search then
+/// evaluates the point normally, so enabling the oracle never changes which
+/// best point a search finds, only how many evaluator invocations it costs.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_ANALYSIS_LEGALITYORACLE_H
+#define LOCUS_ANALYSIS_LEGALITYORACLE_H
+
+#include "src/analysis/TransformPlan.h"
+#include "src/cir/Ast.h"
+#include "src/search/Search.h"
+#include "src/search/Space.h"
+#include "src/transform/Transform.h"
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace locus {
+namespace analysis {
+
+/// Applies module \p Module.\p Member with fully resolved \p Args to
+/// \p Region of \p Prog. Supplied by the driver layer (it owns the module
+/// registry and the argument-value conversion), so replay goes through
+/// exactly the code path the interpreter uses and cannot drift from it.
+using ModuleInvoker = std::function<transform::TransformResult(
+    const std::string &Module, const std::string &Member,
+    const std::map<std::string, PlanArg> &Args, cir::Block &Region,
+    cir::Program &Prog)>;
+
+class LegalityOracle {
+public:
+  /// \p Baseline must outlive the oracle; it is cloned, never mutated.
+  LegalityOracle(const cir::Program &Baseline, const search::Space &Space,
+                 TransformPlan Plan, ModuleInvoker Invoker);
+  ~LegalityOracle();
+
+  /// Returns the failure outcome the evaluation pipeline would report for a
+  /// provably invalid point, or nullopt when the point cannot be proven
+  /// invalid (and must be evaluated). Matches the interpreter's failure
+  /// classification: range violations map to InvalidPoint, module Illegal
+  /// to TransformIllegal, module Error to InvalidPoint.
+  std::optional<search::EvalOutcome> classify(const search::Point &P);
+
+  /// Number of classify() calls that proved a point invalid (monitoring).
+  int prunedCount() const { return Pruned; }
+
+private:
+  struct RegionState;
+
+  const cir::Program &Baseline;
+  const search::Space &Space;
+  TransformPlan Plan;
+  ModuleInvoker Invoker;
+
+  /// Per region name: whether replay is permitted at all (single,
+  /// non-overlapping instantiation in the baseline).
+  std::map<std::string, bool> RegionReplayable;
+
+  /// Prefix cache: (region name, applied-call-sequence key) -> materialized
+  /// program state. Bounded; see Impl.
+  std::map<std::string, std::unique_ptr<RegionState>> PrefixCache;
+
+  /// Failed-call cache: (region, prefix, call key) -> outcome, so repeated
+  /// illegal prefixes across points don't re-run the module.
+  std::map<std::string, search::EvalOutcome> FailCache;
+
+  int Pruned = 0;
+};
+
+} // namespace analysis
+} // namespace locus
+
+#endif // LOCUS_ANALYSIS_LEGALITYORACLE_H

@@ -1,0 +1,70 @@
+//===- Verifier.h - CIR structural/semantic verifier -----------*- C++ -*-===//
+///
+/// \file
+/// A verifier over the MiniC AST, in the spirit of LLVM's -verify-each
+/// discipline: run it after every transformation so a broken rewrite
+/// surfaces at the rewrite that introduced it, with a located diagnostic,
+/// instead of one full interpreted run later as a checksum mismatch.
+///
+/// Invariants checked by verifyProgram():
+///  - every identifier (scalar, array, loop induction variable) resolves to
+///    a declaration visible at its use;
+///  - loop induction variables are single-assignment within their loop body
+///    and are not redefined by a nested loop;
+///  - array accesses have the same rank as their declaration, and scalars
+///    are never subscripted;
+///  - "#pragma @Locus" region labels are unique and map to live (non-empty)
+///    blocks (violations are warnings: multiple same-named regions are a
+///    supported feature, but usually a mistake);
+///  - the unparse→reparse round trip reproduces the program (modulo the
+///    redundant block nesting the printer/parser pair introduces).
+///
+/// verifyAfterTransform() additionally performs statement-instance
+/// accounting: for transformations that must preserve the number of executed
+/// assignment instances (unroll, tiling, interchange, fusion, ...), the
+/// per-region instance count — the sum over assignment statements of the
+/// product of enclosing constant trip counts — must not change. This is the
+/// check that catches a dropped remainder loop, which is structurally valid
+/// IR and invisible to every other invariant.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_ANALYSIS_VERIFIER_H
+#define LOCUS_ANALYSIS_VERIFIER_H
+
+#include "src/cir/Ast.h"
+#include "src/support/Diag.h"
+
+#include <optional>
+
+namespace locus {
+namespace analysis {
+
+struct VerifierOptions {
+  /// Check that unparse→reparse reproduces the program.
+  bool RoundTrip = true;
+};
+
+/// Runs all structural/semantic checks on \p P, reporting into \p Diags.
+/// Returns true when no errors were found (warnings do not fail).
+bool verifyProgram(const cir::Program &P, support::DiagEngine &Diags,
+                   const VerifierOptions &Opts = {});
+
+/// Counts the number of assignment-statement instances executed by \p B:
+/// the sum over AssignStmt leaves of the product of the enclosing loops'
+/// constant trip counts. Returns nullopt when any enclosing trip count is
+/// not a compile-time constant or the block contains control flow whose
+/// instance count is data dependent (if statements).
+std::optional<long long> countAssignInstances(const cir::Block &B);
+
+/// Post-transformation verification: verifyProgram() on the whole program
+/// plus, when \p CheckInstanceCounts is set and \p Before is non-null,
+/// statement-instance accounting of \p Region against its pre-transform
+/// clone \p Before. Returns true when no errors were found.
+bool verifyAfterTransform(const cir::Program &P, const cir::Block &Region,
+                          const cir::Block *Before, bool CheckInstanceCounts,
+                          support::DiagEngine &Diags);
+
+} // namespace analysis
+} // namespace locus
+
+#endif // LOCUS_ANALYSIS_VERIFIER_H

@@ -20,6 +20,8 @@
 #ifndef LOCUS_CIR_AST_H
 #define LOCUS_CIR_AST_H
 
+#include "src/support/Diag.h"
+
 #include <cassert>
 #include <cstdint>
 #include <memory>
@@ -99,8 +101,18 @@ public:
 
   ExprKind kind() const { return Kind; }
 
-  /// Deep copy.
-  virtual ExprPtr clone() const = 0;
+  /// Deep copy (source location included).
+  ExprPtr clone() const {
+    ExprPtr Copy = cloneImpl();
+    Copy->Loc = Loc;
+    return Copy;
+  }
+
+  /// Source position of this expression; invalid for synthesized nodes.
+  support::SrcLoc Loc;
+
+protected:
+  virtual ExprPtr cloneImpl() const = 0;
 
 private:
   ExprKind Kind;
@@ -113,7 +125,7 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::IntLit; }
 
-  ExprPtr clone() const override { return std::make_unique<IntLit>(Value); }
+  ExprPtr cloneImpl() const override { return std::make_unique<IntLit>(Value); }
 
   int64_t Value;
 };
@@ -125,7 +137,9 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::FloatLit; }
 
-  ExprPtr clone() const override { return std::make_unique<FloatLit>(Value); }
+  ExprPtr cloneImpl() const override {
+    return std::make_unique<FloatLit>(Value);
+  }
 
   double Value;
 };
@@ -138,7 +152,7 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::VarRef; }
 
-  ExprPtr clone() const override { return std::make_unique<VarRef>(Name); }
+  ExprPtr cloneImpl() const override { return std::make_unique<VarRef>(Name); }
 
   std::string Name;
 };
@@ -152,7 +166,7 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::ArrayRef; }
 
-  ExprPtr clone() const override {
+  ExprPtr cloneImpl() const override {
     std::vector<ExprPtr> Copy;
     Copy.reserve(Indices.size());
     for (const auto &I : Indices)
@@ -173,7 +187,7 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Binary; }
 
-  ExprPtr clone() const override {
+  ExprPtr cloneImpl() const override {
     return std::make_unique<BinaryExpr>(Op, Lhs->clone(), Rhs->clone());
   }
 
@@ -190,7 +204,7 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Unary; }
 
-  ExprPtr clone() const override {
+  ExprPtr cloneImpl() const override {
     return std::make_unique<UnaryExpr>(Op, Operand->clone());
   }
 
@@ -208,7 +222,7 @@ public:
 
   static bool classof(const Expr *E) { return E->kind() == ExprKind::Call; }
 
-  ExprPtr clone() const override {
+  ExprPtr cloneImpl() const override {
     std::vector<ExprPtr> Copy;
     Copy.reserve(Args.size());
     for (const auto &A : Args)
@@ -249,12 +263,22 @@ public:
 
   StmtKind kind() const { return Kind; }
 
-  virtual StmtPtr clone() const = 0;
+  /// Deep copy (pragmas and source location included).
+  StmtPtr clone() const {
+    StmtPtr Copy = cloneImpl();
+    Copy->Loc = Loc;
+    return Copy;
+  }
 
   /// Pragmas attached to (preceding) this statement.
   std::vector<std::string> Pragmas;
 
+  /// Source position of this statement; invalid for synthesized nodes.
+  support::SrcLoc Loc;
+
 protected:
+  virtual StmtPtr cloneImpl() const = 0;
+
   /// Copies pragma annotations onto a freshly cloned node.
   void copyPragmasTo(Stmt &Clone) const { Clone.Pragmas = Pragmas; }
 
@@ -270,7 +294,7 @@ public:
 
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Block; }
 
-  StmtPtr clone() const override {
+  StmtPtr cloneImpl() const override {
     auto Copy = std::make_unique<Block>();
     Copy->RegionName = RegionName;
     for (const auto &S : Stmts)
@@ -298,7 +322,7 @@ public:
 
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::For; }
 
-  StmtPtr clone() const override {
+  StmtPtr cloneImpl() const override {
     auto BodyCopy = std::unique_ptr<Block>(cast<Block>(Body->clone().release()));
     auto Copy = std::make_unique<ForStmt>(Var, Init->clone(), Op,
                                           Bound->clone(), Step,
@@ -324,7 +348,7 @@ public:
 
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::If; }
 
-  StmtPtr clone() const override {
+  StmtPtr cloneImpl() const override {
     auto ThenCopy = std::unique_ptr<Block>(cast<Block>(Then->clone().release()));
     std::unique_ptr<Block> ElseCopy;
     if (Else)
@@ -352,7 +376,7 @@ public:
 
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Assign; }
 
-  StmtPtr clone() const override {
+  StmtPtr cloneImpl() const override {
     auto Copy =
         std::make_unique<AssignStmt>(Lhs->clone(), Op, Rhs->clone());
     copyPragmasTo(*Copy);
@@ -375,7 +399,7 @@ public:
 
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::Decl; }
 
-  StmtPtr clone() const override {
+  StmtPtr cloneImpl() const override {
     auto Copy = std::make_unique<DeclStmt>(Elem, Name, Dims,
                                            Init ? Init->clone() : nullptr);
     copyPragmasTo(*Copy);
@@ -397,7 +421,7 @@ public:
 
   static bool classof(const Stmt *S) { return S->kind() == StmtKind::CallStmt; }
 
-  StmtPtr clone() const override {
+  StmtPtr cloneImpl() const override {
     auto Copy = std::make_unique<CallStmt>(Call->clone());
     copyPragmasTo(*Copy);
     return Copy;

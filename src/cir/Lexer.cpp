@@ -19,8 +19,10 @@ char Lexer::peek(int Ahead) const {
 
 char Lexer::advance() {
   char C = Source[Pos++];
-  if (C == '\n')
+  if (C == '\n') {
     ++Line;
+    LineStartPos = Pos;
+  }
   return C;
 }
 
@@ -67,6 +69,7 @@ Token Lexer::lexToken() {
   skipTrivia();
   Token T;
   T.Line = Line;
+  T.Col = static_cast<int>(Pos - LineStartPos) + 1;
   if (atEnd() || hadError())
     return T;
 

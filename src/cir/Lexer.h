@@ -28,13 +28,14 @@ enum class TokKind {
   Pragma, ///< a whole "#pragma ..." line, Text holds everything after #pragma
 };
 
-/// A single token with its source line (1-based) for diagnostics.
+/// A single token with its source line and column (1-based) for diagnostics.
 struct Token {
   TokKind Kind = TokKind::Eof;
   std::string Text;
   int64_t IntValue = 0;
   double FloatValue = 0;
   int Line = 0;
+  int Col = 0;
 
   bool is(TokKind K) const { return Kind == K; }
   bool isPunct(const char *P) const {
@@ -70,6 +71,7 @@ private:
   std::string Source;
   size_t Pos = 0;
   int Line = 1;
+  size_t LineStartPos = 0; ///< offset of the first char of the current line
   std::string ErrorMessage;
   std::map<std::string, int64_t> Defines;
 };

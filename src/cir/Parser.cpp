@@ -82,8 +82,10 @@ void Parser::collectPragmas() {
       std::string_view Spec = trimString(Body.substr(6));
       if (startsWith(Spec, "loop=")) {
         PendingLoopRegion = std::string(trimString(Spec.substr(5)));
+        PendingRegionSplit = PendingPragmas.size();
       } else if (startsWith(Spec, "block=")) {
         PendingBlockRegion = std::string(trimString(Spec.substr(6)));
+        PendingRegionSplit = PendingPragmas.size();
       } else if (Spec == "endblock") {
         fail("@Locus endblock without a matching block annotation");
       } else {
@@ -178,9 +180,11 @@ Expected<std::vector<StmtPtr>> Parser::parseStatementList() {
 }
 
 std::unique_ptr<Block> Parser::parseBlock() {
+  support::SrcLoc StartLoc{peek().Line, peek().Col};
   if (!expectPunct("{"))
     return nullptr;
   auto B = std::make_unique<Block>();
+  B->Loc = StartLoc;
   while (!peek().isPunct("}") && !peek().is(TokKind::Eof) &&
          ErrorMessage.empty()) {
     StmtPtr S = parseStmt();
@@ -195,6 +199,7 @@ std::unique_ptr<Block> Parser::parseBlock() {
 
 StmtPtr Parser::parseStmt() {
   collectPragmas();
+  support::SrcLoc StartLoc{peek().Line, peek().Col};
 
   // Region wrapping: "#pragma @Locus block=NAME" wraps statements until the
   // matching endblock pragma into one named Block.
@@ -202,9 +207,14 @@ StmtPtr Parser::parseStmt() {
     std::string Name = PendingBlockRegion;
     PendingBlockRegion.clear();
     auto Region = std::make_unique<Block>();
+    Region->Loc = StartLoc;
     Region->RegionName = Name;
-    Region->Pragmas = std::move(PendingPragmas);
-    PendingPragmas.clear();
+    // Pragmas seen before the marker annotate the region; later ones stay
+    // pending for the first wrapped statement.
+    size_t Split = std::min(PendingRegionSplit, PendingPragmas.size());
+    Region->Pragmas.assign(PendingPragmas.begin(),
+                           PendingPragmas.begin() + Split);
+    PendingPragmas.erase(PendingPragmas.begin(), PendingPragmas.begin() + Split);
     while (ErrorMessage.empty()) {
       // endblock is detected here rather than in collectPragmas.
       if (peek().is(TokKind::Pragma)) {
@@ -230,8 +240,14 @@ StmtPtr Parser::parseStmt() {
   if (!PendingLoopRegion.empty()) {
     std::string Name = PendingLoopRegion;
     PendingLoopRegion.clear();
-    std::vector<std::string> Pragmas = std::move(PendingPragmas);
-    PendingPragmas.clear();
+    // Pragmas seen before the marker annotate the region block; later ones
+    // (e.g. "omp parallel for" between the marker and its loop) stay
+    // pending and bind to the for statement itself, matching where the
+    // printer emits a transformed loop's pragmas.
+    size_t Split = std::min(PendingRegionSplit, PendingPragmas.size());
+    std::vector<std::string> RegionPragmas(PendingPragmas.begin(),
+                                           PendingPragmas.begin() + Split);
+    PendingPragmas.erase(PendingPragmas.begin(), PendingPragmas.begin() + Split);
     if (!peek().isIdent("for")) {
       fail("@Locus loop annotation must precede a for loop");
       return nullptr;
@@ -240,8 +256,9 @@ StmtPtr Parser::parseStmt() {
     if (!Loop)
       return nullptr;
     auto Region = std::make_unique<Block>();
+    Region->Loc = StartLoc;
     Region->RegionName = Name;
-    Region->Pragmas = std::move(Pragmas);
+    Region->Pragmas = std::move(RegionPragmas);
     Region->Stmts.push_back(std::move(Loop));
     return Region;
   }
@@ -271,6 +288,8 @@ StmtPtr Parser::parseStmt() {
 
   if (S && !Pragmas.empty())
     S->Pragmas.insert(S->Pragmas.begin(), Pragmas.begin(), Pragmas.end());
+  if (S && !S->Loc.valid())
+    S->Loc = StartLoc;
   return S;
 }
 
@@ -628,13 +647,18 @@ ExprPtr Parser::parseUnary() {
 
 ExprPtr Parser::parsePrimary() {
   const Token &T = peek();
+  support::SrcLoc StartLoc{T.Line, T.Col};
   if (T.is(TokKind::IntLit)) {
     advance();
-    return makeInt(T.IntValue);
+    ExprPtr E = makeInt(T.IntValue);
+    E->Loc = StartLoc;
+    return E;
   }
   if (T.is(TokKind::FloatLit)) {
     advance();
-    return std::make_unique<FloatLit>(T.FloatValue);
+    auto E = std::make_unique<FloatLit>(T.FloatValue);
+    E->Loc = StartLoc;
+    return E;
   }
   if (T.isPunct("(")) {
     advance();
@@ -670,7 +694,9 @@ ExprPtr Parser::parsePrimary() {
       }
       if (!expectPunct(")"))
         return nullptr;
-      return makeCall(Name, std::move(Args));
+      ExprPtr E = makeCall(Name, std::move(Args));
+      E->Loc = StartLoc;
+      return E;
     }
     if (peek().isPunct("[")) {
       std::vector<ExprPtr> Indices;
@@ -680,9 +706,13 @@ ExprPtr Parser::parsePrimary() {
           return nullptr;
         Indices.push_back(std::move(I));
       }
-      return std::make_unique<ArrayRef>(Name, std::move(Indices));
+      auto E = std::make_unique<ArrayRef>(Name, std::move(Indices));
+      E->Loc = StartLoc;
+      return E;
     }
-    return makeVar(Name);
+    ExprPtr E = makeVar(Name);
+    E->Loc = StartLoc;
+    return E;
   }
   fail("unexpected token '" + T.Text + "' in expression");
   return nullptr;

@@ -81,6 +81,10 @@ private:
   std::vector<std::string> PendingPragmas;
   std::string PendingLoopRegion;  ///< from "#pragma @Locus loop=NAME"
   std::string PendingBlockRegion; ///< from "#pragma @Locus block=NAME"
+  /// Number of PendingPragmas seen before the @Locus region marker: those
+  /// belong to the region block, later ones to the wrapped statement (e.g.
+  /// "omp parallel for" emitted between the marker and its loop).
+  size_t PendingRegionSplit = 0;
 
   std::map<std::string, int64_t> ConstInts;
   std::unique_ptr<Program> Prog;

@@ -4,6 +4,8 @@
 
 #include "src/locus/Optimizer.h"
 
+#include "src/analysis/LegalityOracle.h"
+#include "src/analysis/TransformPlan.h"
 #include "src/cir/AstUtils.h"
 #include "src/search/Journal.h"
 #include "src/search/PointCodec.h"
@@ -12,6 +14,7 @@
 #include <cmath>
 #include <cstdio>
 #include <limits>
+#include <optional>
 
 namespace locus {
 namespace driver {
@@ -73,6 +76,7 @@ Expected<DirectResult> Orchestrator::runPoint(const search::Point &Point) {
   TCtx.RequireDeps = Opts.RequireDeps;
   TCtx.Prog = Result.Variant.get();
   TCtx.Snippets = Opts.Snippets;
+  TCtx.VerifyEach = Opts.VerifyEach;
 
   lang::LocusInterpreter Interp(program(), Registry);
   Result.Exec = Interp.applyPoint(*Result.Variant, Point, TCtx);
@@ -112,6 +116,7 @@ public:
     TCtx.RequireDeps = Opts.RequireDeps;
     TCtx.Prog = Variant.get();
     TCtx.Snippets = Opts.Snippets;
+    TCtx.VerifyEach = Opts.VerifyEach;
     lang::LocusInterpreter Interp(LProg, Registry);
     lang::ExecOutcome Exec = Interp.applyPoint(*Variant, P, TCtx);
     if (!Exec.Ok)
@@ -171,6 +176,29 @@ private:
   uint64_t DeadlineIterations;
 };
 
+/// Converts a fully resolved PlanArg back into a module-call Value for
+/// oracle replay. Params never reach the invoker (the oracle resolves them
+/// against the point first).
+lang::Value planArgToValue(const analysis::PlanArg &A) {
+  using analysis::PlanArg;
+  switch (A.K) {
+  case PlanArg::Kind::Int:
+    return lang::Value(A.Int);
+  case PlanArg::Kind::Float:
+    return lang::Value(A.Float);
+  case PlanArg::Kind::Str:
+    return lang::Value(A.Str);
+  case PlanArg::Kind::List: {
+    std::vector<lang::Value> Items;
+    for (const PlanArg &I : A.List)
+      Items.push_back(planArgToValue(I));
+    return lang::Value::list(std::move(Items));
+  }
+  default:
+    return lang::Value::none();
+  }
+}
+
 bool fileExists(const std::string &Path) {
   if (std::FILE *F = std::fopen(Path.c_str(), "rb")) {
     std::fclose(F);
@@ -191,8 +219,9 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   TCtx.Prog = ExtractTarget.get();
   TCtx.Snippets = Opts.Snippets;
   lang::LocusInterpreter Interp(program(), Registry);
-  lang::ExecOutcome Extract =
-      Interp.extractSpace(*ExtractTarget, Result.Space, TCtx);
+  analysis::TransformPlan Plan;
+  lang::ExecOutcome Extract = Interp.extractSpace(
+      *ExtractTarget, Result.Space, TCtx, Opts.StaticPrune ? &Plan : nullptr);
   if (!Extract.Ok)
     return Expected<SearchWorkflowResult>::error("space extraction failed: " +
                                                  Extract.Error);
@@ -236,6 +265,38 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   search::SearchOptions SOpts;
   SOpts.MaxEvaluations = Opts.MaxEvaluations;
   SOpts.Seed = Opts.Seed;
+
+  // Static legality oracle: classify points against the recorded plan
+  // before a variant is materialized. Replay goes through the same module
+  // registry the interpreter uses, so a replayed Illegal is exactly the
+  // failure the concrete run would have produced.
+  std::optional<analysis::LegalityOracle> Oracle;
+  if (Opts.StaticPrune) {
+    analysis::ModuleInvoker Invoker =
+        [this](const std::string &Module, const std::string &Member,
+               const std::map<std::string, analysis::PlanArg> &Args,
+               cir::Block &Region,
+               cir::Program &Prog) -> transform::TransformResult {
+      const lang::ModuleMember *M = Registry.find(Module, Member);
+      if (!M)
+        return transform::TransformResult::error("unknown module member " +
+                                                 Module + "." + Member);
+      transform::TransformContext ReplayCtx;
+      ReplayCtx.RequireDeps = Opts.RequireDeps;
+      ReplayCtx.Prog = &Prog;
+      ReplayCtx.Snippets = Opts.Snippets;
+      lang::ModuleArgs MArgs;
+      for (const auto &[Key, Arg] : Args)
+        MArgs[Key] = planArgToValue(Arg);
+      lang::ModuleCallContext Ctx{&Region, &Prog, &ReplayCtx};
+      return M->Fn(MArgs, Ctx).Result;
+    };
+    Oracle.emplace(Baseline, Result.Space, std::move(Plan),
+                   std::move(Invoker));
+    SOpts.StaticFilter = [&Oracle](const search::Point &P) {
+      return Oracle->classify(P);
+    };
+  }
 
   // Crash-safe journal: reload an interrupted run, then append every fresh
   // evaluation.

@@ -24,6 +24,7 @@
 #include "src/search/FaultTolerance.h"
 #include "src/search/Search.h"
 
+#include <cstdlib>
 #include <functional>
 #include <map>
 #include <memory>
@@ -70,6 +71,17 @@ struct OrchestratorOptions {
   /// dedup/history state and count toward MaxEvaluations, so the run
   /// finishes the remaining budget exactly as the uninterrupted run would.
   bool ResumeFromJournal = false;
+  /// Classify points against the static legality oracle before materializing
+  /// a variant: provably-invalid points (dependent-range violations,
+  /// replayed-illegal transformations) are counted in
+  /// SearchResult::PrunedStatic and never reach the evaluator. Never changes
+  /// which best point a search finds, only how much it costs.
+  bool StaticPrune = true;
+  /// Run the CIR verifier after every applied transformation during concrete
+  /// interpretation; a variant that fails verification is rejected as an
+  /// illegal transform. Defaults on when LOCUS_VERIFY_EACH is set in the
+  /// environment (the sanitizer test presets set it).
+  bool VerifyEach = std::getenv("LOCUS_VERIFY_EACH") != nullptr;
 };
 
 /// Result of the direct workflow.

@@ -2,8 +2,12 @@
 
 #include "src/locus/Interpreter.h"
 
+#include "src/analysis/Verifier.h"
+#include "src/support/Diag.h"
+
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 namespace locus {
 namespace lang {
@@ -12,6 +16,53 @@ namespace {
 
 /// Exponent helpers for poweroftwo parameters.
 bool isPow2(int64_t X) { return X > 0 && (X & (X - 1)) == 0; }
+
+/// Modules that must preserve the number of executed assignment instances
+/// (the verifier's statement-instance accounting only applies to these;
+/// LICM/ScalarRepl/Altdesc legitimately change the count).
+bool preservesInstanceCounts(const std::string &Member) {
+  static const std::set<std::string> Preserving = {
+      "Tiling", "GenericTiling", "Interchange", "Unroll",
+      "UnrollAndJam", "Fusion", "Distribute"};
+  return Preserving.count(Member) != 0;
+}
+
+/// Converts a Locus value into a symbolic plan argument; Unknown for value
+/// kinds the oracle cannot replay (dicts, None).
+analysis::PlanArg planArgFromValue(const Value &V) {
+  using analysis::PlanArg;
+  switch (V.kind()) {
+  case Value::Kind::Int:
+    return PlanArg::ofInt(V.asInt());
+  case Value::Kind::Float:
+    return PlanArg::ofFloat(V.asFloat());
+  case Value::Kind::String:
+    return PlanArg::ofStr(V.asString());
+  case Value::Kind::Param:
+    return PlanArg::ofParam(V.paramId());
+  case Value::Kind::List:
+  case Value::Kind::Tuple: {
+    std::vector<Value> Copy;
+    const std::vector<Value> *Items;
+    if (V.isList()) {
+      Copy = *V.asList();
+      Items = &Copy;
+    } else {
+      Items = &V.asTuple();
+    }
+    std::vector<PlanArg> Out;
+    for (const Value &I : *Items) {
+      PlanArg A = planArgFromValue(I);
+      if (!A.resolvable())
+        return PlanArg::unknown();
+      Out.push_back(std::move(A));
+    }
+    return PlanArg::ofList(std::move(Out));
+  }
+  default:
+    return PlanArg::unknown();
+  }
+}
 
 //===----------------------------------------------------------------------===//
 // Execution engine
@@ -25,9 +76,10 @@ class Engine {
 public:
   Engine(const LocusProgram &LProg, const ModuleRegistry &Registry, Mode M,
          search::Space *SpaceOut, const search::Point *Point,
-         cir::Program *Target, transform::TransformContext *TCtx)
+         cir::Program *Target, transform::TransformContext *TCtx,
+         analysis::TransformPlan *Plan = nullptr)
       : LProg(LProg), Registry(Registry), M(M), SpaceOut(SpaceOut),
-        Point(Point), Target(Target), TCtx(TCtx) {}
+        Point(Point), Target(Target), TCtx(TCtx), Plan(Plan) {}
 
   ExecOutcome run() {
     Outcome = ExecOutcome::ok();
@@ -55,9 +107,12 @@ public:
         Outcome.Log.push_back("warning: no code region named '" + Name + "'");
         continue;
       }
+      if (Plan && M == Mode::Extract)
+        Plan->CodeRegOrder.push_back(Name);
       size_t Count = M == Mode::Extract ? 1 : Regions.size();
       for (size_t R = 0; R < Count && !halted(); ++R) {
         Region = Regions[R];
+        CurCodeReg = Name;
         PathStack.assign(1, Name);
         std::map<std::string, Value> Locals = GlobalScope;
         Value Ret;
@@ -66,6 +121,7 @@ public:
                                          // bodies see and update globals
       }
       Region = nullptr;
+      CurCodeReg.clear();
       if (halted())
         break;
     }
@@ -151,8 +207,10 @@ private:
         // Walk every alternative to collect nested constructs.
         for (size_t I = 0; I < S.Blocks.size(); ++I) {
           PathStack.push_back("alt" + std::to_string(I));
+          GuardStack.push_back({Id, static_cast<int64_t>(I)});
           Value Ignored;
           execBlock(S.Blocks[I], Env, Ignored);
+          GuardStack.pop_back();
           PathStack.pop_back();
           if (halted())
             break;
@@ -184,7 +242,9 @@ private:
           Def.Label = "opt:line" + std::to_string(S.Line);
           Def.Kind = search::ParamKind::Bool;
           registerParam(std::move(Def));
-          evalExpr(*S.Expr, Env); // walk for nested constructs
+          GuardStack.push_back({Id, 1}); // executes only when pinned on
+          evalExpr(*S.Expr, Env);        // walk for nested constructs
+          GuardStack.pop_back();
           return Flow::Normal;
         }
         auto It = Point->Values.find(Id);
@@ -201,10 +261,23 @@ private:
 
     case LStmtKind::Assign: {
       CurrentTarget = S.Targets.size() == 1 ? S.Targets[0] : "";
+      bool Track = Plan && M == Mode::Extract;
+      std::pair<bool, bool> Saved;
+      if (Track)
+        Saved = beginTaintScope();
       Value V = evalExpr(*S.Rhs, Env);
+      bool RhsDiverges = Track && endTaintScope(Saved);
       CurrentTarget.clear();
       if (halted())
         return Flow::Normal;
+      if (Track) {
+        // The variable's symbolic value is trusted only when the RHS cannot
+        // diverge between extraction and a concrete run.
+        bool Unusable = RhsDiverges || UnknownDepth > 0 ||
+                        !resolvePlanArg(*S.Rhs, V).resolvable();
+        for (const std::string &T : S.Targets)
+          VarCtx[T] = VarInfo{GuardStack, Unusable};
+      }
       if (S.Targets.size() == 1) {
         Env[S.Targets[0]] = std::move(V);
         return Flow::Normal;
@@ -230,7 +303,7 @@ private:
 
     case LStmtKind::If: {
       for (size_t I = 0; I < S.Conds.size(); ++I) {
-        Value C = evalExpr(*S.Conds[I], Env);
+        Value C = evalCond(*S.Conds[I], Env);
         if (halted())
           return Flow::Normal;
         if (C.isParam() || C.containsParam()) {
@@ -240,16 +313,18 @@ private:
             fail(S.Line, "unresolved search value in condition");
             return Flow::Normal;
           }
+          ++UnknownDepth;
           for (size_t J = I; J < S.Conds.size(); ++J) {
             Value Ignored;
             execBlock(S.Blocks[J], Env, Ignored);
             if (J + 1 < S.Conds.size())
-              evalExpr(*S.Conds[J + 1], Env);
+              evalCond(*S.Conds[J + 1], Env);
           }
           if (S.HasElse) {
             Value Ignored;
             execBlock(S.ElseBlock, Env, Ignored);
           }
+          --UnknownDepth;
           return Flow::Normal;
         }
         if (C.truthy())
@@ -263,7 +338,7 @@ private:
     case LStmtKind::While: {
       int Guard = 0;
       while (true) {
-        Value C = evalExpr(*S.Conds[0], Env);
+        Value C = evalCond(*S.Conds[0], Env);
         if (halted())
           return Flow::Normal;
         if (C.isParam() || C.containsParam()) {
@@ -272,7 +347,9 @@ private:
             return Flow::Normal;
           }
           Value Ignored;
+          ++UnknownDepth;
           execBlock(S.Blocks[0], Env, Ignored);
+          --UnknownDepth;
           return Flow::Normal;
         }
         if (!C.truthy())
@@ -296,7 +373,7 @@ private:
       while (true) {
         if (halted())
           return Flow::Normal;
-        Value C = evalExpr(*S.Conds[0], Env);
+        Value C = evalCond(*S.Conds[0], Env);
         if (halted())
           return Flow::Normal;
         if (C.isParam() || C.containsParam()) {
@@ -304,7 +381,9 @@ private:
             fail(S.Line, "unresolved search value in for condition");
             return Flow::Normal;
           }
+          ++UnknownDepth;
           execBlock(S.Blocks[0], Env, Ignored);
+          --UnknownDepth;
           return Flow::Normal;
         }
         if (!C.truthy())
@@ -348,8 +427,11 @@ private:
 
     case LExprKind::Name: {
       auto It = Env.find(E.Name);
-      if (It != Env.end())
+      if (It != Env.end()) {
+        if (Plan && M == Mode::Extract && !nameUsable(E.Name))
+          TaintedEval = true;
         return It->second;
+      }
       if (Registry.hasModule(E.Name) || LProg.findOptSeq(E.Name) ||
           LProg.findDef(E.Name) || LProg.findQuery(E.Name))
         return Value(E.Name); // resolves at the call site
@@ -400,17 +482,36 @@ private:
     }
 
     case LExprKind::Binary: {
+      bool TrackShort =
+          Plan && M == Mode::Extract && (E.Op == "&&" || E.Op == "||");
+      std::pair<bool, bool> SavedShort;
+      if (TrackShort)
+        SavedShort = beginTaintScope();
       Value L = evalExpr(*E.Lhs, Env);
+      bool LDiverges = TrackShort && endTaintScope(SavedShort);
       if (halted())
         return Value::none();
       // Short-circuit logic.
       if (E.Op == "&&" || E.Op == "||") {
-        if (L.isParam() || L.containsParam())
+        if (L.isParam() || L.containsParam()) {
+          // The right operand is not walked, but a concrete run evaluates
+          // it; a call hiding there could mutate state the plan misses.
+          if (recordingPlan() && exprContainsCall(*E.Rhs))
+            PlanBarrier = true;
           return L;
-        if (E.Op == "&&" && !L.truthy())
+        }
+        if (E.Op == "&&" && !L.truthy()) {
+          // Short-circuiting on a possibly-diverging value: the concrete
+          // run may evaluate the right operand this walk skips.
+          if (recordingPlan() && LDiverges && exprContainsCall(*E.Rhs))
+            PlanBarrier = true;
           return Value::boolean(false);
-        if (E.Op == "||" && L.truthy())
+        }
+        if (E.Op == "||" && L.truthy()) {
+          if (recordingPlan() && LDiverges && exprContainsCall(*E.Rhs))
+            PlanBarrier = true;
           return Value::boolean(true);
+        }
         Value R = evalExpr(*E.Rhs, Env);
         if (R.isParam() || R.containsParam())
           return R;
@@ -514,13 +615,31 @@ private:
       for (size_t I = 0; I < E.Items.size(); ++I)
         Def.Options.push_back("alt" + std::to_string(I));
       registerParam(std::move(Def));
+      std::vector<analysis::PlanArg> AltValues;
+      bool AltsResolved = Plan != nullptr;
       for (size_t I = 0; I < E.Items.size(); ++I) {
         PathStack.push_back("alt" + std::to_string(I));
-        evalExpr(*E.Items[I], Env);
+        GuardStack.push_back({Id, static_cast<int64_t>(I)});
+        std::pair<bool, bool> Saved;
+        if (Plan)
+          Saved = beginTaintScope();
+        Value V = evalExpr(*E.Items[I], Env);
+        if (Plan) {
+          bool Diverges = endTaintScope(Saved);
+          analysis::PlanArg A = Diverges ? analysis::PlanArg::unknown()
+                                         : resolvePlanArg(*E.Items[I], V);
+          if (A.resolvable())
+            AltValues.push_back(std::move(A));
+          else
+            AltsResolved = false;
+        }
+        GuardStack.pop_back();
         PathStack.pop_back();
         if (halted())
           break;
       }
+      if (AltsResolved && AltValues.size() == E.Items.size())
+        Plan->EnumValues[Id] = std::move(AltValues);
       return Value::param(Id);
     }
     auto It = Point->Values.find(Id);
@@ -575,6 +694,10 @@ private:
 
     switch (E.SKind) {
     case SearchKind::Enum: {
+      bool Track = Plan && M == Mode::Extract;
+      std::pair<bool, bool> Saved;
+      if (Track)
+        Saved = beginTaintScope();
       std::vector<Value> Options;
       for (const LArg &A : E.Args) {
         Options.push_back(evalExpr(*A.Expr, Env));
@@ -585,6 +708,7 @@ private:
           return Value::none();
         }
       }
+      bool OptsDiverge = Track && endTaintScope(Saved);
       if (M == Mode::Extract) {
         search::ParamDef Def;
         Def.Id = Id;
@@ -593,6 +717,19 @@ private:
         for (const Value &O : Options)
           Def.Options.push_back(O.str());
         registerParam(std::move(Def));
+        if (Track && !OptsDiverge) {
+          // ParamDef::Options only keeps the stringified rendering; the
+          // oracle needs the typed values to resolve Param arguments.
+          std::vector<analysis::PlanArg> Vals;
+          bool AllOk = true;
+          for (size_t I = 0; I < Options.size() && AllOk; ++I) {
+            analysis::PlanArg A = resolvePlanArg(*E.Args[I].Expr, Options[I]);
+            AllOk = A.resolvable();
+            Vals.push_back(std::move(A));
+          }
+          if (AllOk)
+            Plan->EnumValues[Id] = std::move(Vals);
+        }
         return Value::param(Id);
       }
       auto It = Point->Values.find(Id);
@@ -609,7 +746,12 @@ private:
     }
 
     case SearchKind::Permutation: {
+      bool Track = Plan && M == Mode::Extract;
+      std::pair<bool, bool> Saved;
+      if (Track)
+        Saved = beginTaintScope();
       Value Arg = evalExpr(*E.Args[0].Expr, Env);
+      bool ArgDiverges = Track && endTaintScope(Saved);
       if (halted())
         return Value::none();
       std::vector<Value> Items;
@@ -628,6 +770,13 @@ private:
         Def.Kind = search::ParamKind::Permutation;
         Def.PermSize = static_cast<int>(Items.size());
         registerParam(std::move(Def));
+        if (Track && !ArgDiverges) {
+          // The concrete point only stores the index permutation; the
+          // oracle needs the base items to reconstruct the permuted list.
+          analysis::PlanArg A = resolvePlanArg(*E.Args[0].Expr, Arg);
+          if (A.resolvable() && A.K == analysis::PlanArg::Kind::List)
+            Plan->PermItems[Id] = std::move(A.List);
+        }
         return Value::param(Id);
       }
       auto It = Point->Values.find(Id);
@@ -661,8 +810,13 @@ private:
         fail(E.Line, E.Name + " requires a lo..hi range argument");
         return Value::none();
       }
+      bool Track = Plan && M == Mode::Extract;
+      std::pair<bool, bool> Saved;
+      if (Track)
+        Saved = beginTaintScope();
       Value Lo = evalExpr(*RangeE->RangeLo, Env);
       Value Hi = evalExpr(*RangeE->RangeHi, Env);
+      bool BoundsDiverge = Track && endTaintScope(Saved);
       if (halted())
         return Value::none();
 
@@ -691,7 +845,25 @@ private:
                             E.Line))
             return Value::none();
         }
+        bool Dependent = !Def.DependsOnMinParam.empty() ||
+                         !Def.DependsOnMaxParam.empty();
         registerParam(std::move(Def));
+        // Record the dynamic dependent-range validation the concrete run
+        // will perform (static bounds are honored by every sampler, so only
+        // dependent ranges can reject a point).
+        if (recordingPlan() && !IsFloat && Dependent && !BoundsDiverge) {
+          analysis::PlanEntry PE;
+          PE.K = analysis::PlanEntry::Kind::RangeCheck;
+          PE.Guards = GuardStack;
+          PE.UnderUnknownCond = UnknownDepth > 0;
+          PE.ParamId = Id;
+          PE.Region = CurCodeReg;
+          PE.IsPow2 = E.SKind == SearchKind::Pow2;
+          PE.Lo = resolvePlanArg(*RangeE->RangeLo, Lo);
+          PE.Hi = resolvePlanArg(*RangeE->RangeHi, Hi);
+          if (PE.Lo.resolvable() && PE.Hi.resolvable())
+            Plan->Entries.push_back(std::move(PE));
+        }
         return Value::param(Id);
       }
 
@@ -822,8 +994,23 @@ private:
     }
     std::map<std::string, Value> Frame = GlobalScope;
     Frame["innermost"] = Value(std::string("innermost"));
+    bool Track = Plan && M == Mode::Extract;
+    std::map<std::string, VarInfo> SavedVarCtx;
+    if (Track)
+      SavedVarCtx = VarCtx;
     for (size_t I = 0; I < E.Args.size(); ++I) {
+      std::pair<bool, bool> Saved;
+      if (Track)
+        Saved = beginTaintScope();
       Value V = evalExpr(*E.Args[I].Expr, Env);
+      if (Track) {
+        bool ArgDiverges = endTaintScope(Saved);
+        // Parameters shadow outer bindings for the duration of the call.
+        VarCtx[F.Params[I]] =
+            VarInfo{GuardStack,
+                    ArgDiverges || UnknownDepth > 0 ||
+                        !resolvePlanArg(*E.Args[I].Expr, V).resolvable()};
+      }
       if (halted())
         return Value::none();
       Frame[F.Params[I]] = std::move(V);
@@ -835,6 +1022,8 @@ private:
     execBlock(F.Body, Frame, Ret);
     PathStack.pop_back();
     ModulesAllowed = SavedAllow;
+    if (Track)
+      VarCtx = std::move(SavedVarCtx);
     return Ret;
   }
 
@@ -856,22 +1045,40 @@ private:
       return Value::none();
     }
 
+    bool Track = Plan && M == Mode::Extract;
     ModuleArgs Args;
     bool HasParamArg = false;
+    bool AnyArgDiverges = false;
+    std::vector<std::string> Keys(E.Args.size());
+    std::map<std::string, bool> ArgDiverges;
     for (size_t I = 0; I < E.Args.size(); ++I) {
       const LArg &A = E.Args[I];
+      std::pair<bool, bool> Saved;
+      if (Track)
+        Saved = beginTaintScope();
       Value V = evalExpr(*A.Expr, Env);
+      std::string Key = A.Keyword.empty() ? "arg" + std::to_string(I) : A.Keyword;
+      Keys[I] = Key;
+      if (Track) {
+        bool D = endTaintScope(Saved);
+        ArgDiverges[Key] = D;
+        AnyArgDiverges = AnyArgDiverges || D;
+      }
       if (halted())
         return Value::none();
       if (V.containsParam())
         HasParamArg = true;
-      std::string Key = A.Keyword.empty() ? "arg" + std::to_string(I) : A.Keyword;
       Args[Key] = std::move(V);
     }
 
     if (M == Mode::Extract) {
       if (M2->IsQuery && !HasParamArg) {
         // Queries execute eagerly during space conversion (Section IV-C).
+        // The result is stale for the oracle once any transformation has
+        // been recorded: a concrete run executes the query against the
+        // mutated region this walk never sees.
+        if (Track && (AnyMutationRecorded || AnyArgDiverges))
+          OpaqueEval = true;
         ModuleCallContext Ctx{Region, Target, TCtx};
         ModuleOutcome O = M2->Fn(Args, Ctx);
         if (!O.Result.applied()) {
@@ -880,16 +1087,54 @@ private:
         }
         return O.Ret;
       }
-      // Transformations are not applied while the space is being defined.
+      // Transformations are not applied while the space is being defined;
+      // record them (symbolically) so the oracle can replay them.
+      if (Track && !M2->IsQuery) {
+        if (!PlanBarrier) {
+          analysis::PlanEntry PE;
+          PE.K = analysis::PlanEntry::Kind::ModuleCall;
+          PE.Guards = GuardStack;
+          PE.UnderUnknownCond = UnknownDepth > 0;
+          PE.Module = Module;
+          PE.Member = Member;
+          PE.Region = CurCodeReg;
+          PE.Line = E.Line;
+          for (size_t I = 0; I < E.Args.size(); ++I)
+            PE.Args[Keys[I]] = ArgDiverges[Keys[I]]
+                                   ? analysis::PlanArg::unknown()
+                                   : resolvePlanArg(*E.Args[I].Expr,
+                                                    Args[Keys[I]]);
+          Plan->Entries.push_back(std::move(PE));
+        }
+        AnyMutationRecorded = true;
+      }
+      if (Track)
+        OpaqueEval = true; // placeholder result; concrete mode differs
       return Value::none();
     }
 
     ModuleCallContext Ctx{Region, Target, TCtx};
+    bool DoVerify = TCtx && TCtx->VerifyEach && !M2->IsQuery;
+    std::unique_ptr<cir::Stmt> Before;
+    if (DoVerify)
+      Before = Region->clone();
     ModuleOutcome O = M2->Fn(Args, Ctx);
     switch (O.Result.Status) {
     case transform::TransformStatus::Success:
-      if (!M2->IsQuery)
+      if (!M2->IsQuery) {
+        if (DoVerify) {
+          support::DiagEngine Diags;
+          if (!analysis::verifyAfterTransform(
+                  *Target, *Region, cir::cast<cir::Block>(Before.get()),
+                  preservesInstanceCounts(Member), Diags)) {
+            invalidate(Module + "." + Member + " failed IR verification: " +
+                           Diags.firstError().render(),
+                       /*IllegalTransform=*/true);
+            return Value::none();
+          }
+        }
         ++Outcome.TransformsApplied;
+      }
       return O.Ret;
     case transform::TransformStatus::NoOp:
       return O.Ret;
@@ -913,6 +1158,7 @@ private:
   const search::Point *Point;
   cir::Program *Target;
   transform::TransformContext *TCtx;
+  analysis::TransformPlan *Plan;
 
   cir::Block *Region = nullptr;
   std::vector<std::string> PathStack;
@@ -921,6 +1167,155 @@ private:
   bool ModulesAllowed = true;
   std::string Err;
   ExecOutcome Outcome;
+
+  //===--------------------------------------------------------------------===//
+  // Plan recording state (extract mode with Plan only)
+  //===--------------------------------------------------------------------===//
+
+  /// Selector guards (OR alternatives, optional statements) currently being
+  /// walked; recorded on every plan entry.
+  std::vector<analysis::PlanGuard> GuardStack;
+  /// > 0 while walking the arms of a conditional whose outcome depends on a
+  /// search value; entries recorded there may or may not execute.
+  int UnknownDepth = 0;
+  /// Once set, no further entries are recorded: execution past this point
+  /// may diverge between extraction and a concrete run (a conditional on a
+  /// value the extractor could not model took a definite branch).
+  bool PlanBarrier = false;
+  /// Set during an expression evaluation that produced or consumed a value
+  /// whose concrete-mode counterpart may differ (module-call placeholders,
+  /// queries on mutated regions).
+  bool OpaqueEval = false;
+  /// Set when a name lookup hit a variable recorded as unusable.
+  bool TaintedEval = false;
+  /// True once any mutating module call was recorded; eager queries after
+  /// that point see pristine state the concrete run will have mutated.
+  bool AnyMutationRecorded = false;
+  /// CodeReg currently being walked ("" in global scope).
+  std::string CurCodeReg;
+
+  /// Usability of a Locus variable for symbolic argument resolution: the
+  /// guard stack at assignment must be a prefix of the use-site stack (the
+  /// extractor walks every OR alternative, so a binding made in one
+  /// alternative leaks into the walk of its siblings and past the OR).
+  struct VarInfo {
+    std::vector<analysis::PlanGuard> Guards;
+    bool Unusable = false;
+  };
+  std::map<std::string, VarInfo> VarCtx;
+
+  bool nameUsable(const std::string &Name) const {
+    auto It = VarCtx.find(Name);
+    if (It == VarCtx.end())
+      return true; // bound outside any recorded construct
+    const VarInfo &V = It->second;
+    if (V.Unusable || V.Guards.size() > GuardStack.size())
+      return false;
+    for (size_t I = 0; I < V.Guards.size(); ++I)
+      if (V.Guards[I].ParamId != GuardStack[I].ParamId ||
+          V.Guards[I].Alt != GuardStack[I].Alt)
+        return false;
+    return true;
+  }
+
+  /// Symbolic form of an evaluated expression. Purely structural: dynamic
+  /// divergence (tainted names) is detected by the TaintedEval/OpaqueEval
+  /// flags during evaluation, which the call sites consult separately.
+  /// The default case guards against Value's param-collapsing arithmetic
+  /// (valueAdd(param, x) returns the param operand, so a computed value that
+  /// still contains a param is NOT the concrete result).
+  analysis::PlanArg resolvePlanArg(const LExpr &E, const Value &V) {
+    using analysis::PlanArg;
+    switch (E.Kind) {
+    case LExprKind::Lit:
+    case LExprKind::Name:
+    case LExprKind::SearchCall:
+    case LExprKind::OrExpr:
+      return planArgFromValue(V);
+    case LExprKind::ListMaker:
+    case LExprKind::TupleMaker: {
+      std::vector<Value> Copy;
+      const std::vector<Value> *Items = nullptr;
+      if (V.isList()) {
+        Copy = *V.asList();
+        Items = &Copy;
+      } else if (V.isTuple()) {
+        Items = &V.asTuple();
+      }
+      if (!Items || Items->size() != E.Items.size())
+        return PlanArg::unknown();
+      std::vector<PlanArg> Out;
+      for (size_t I = 0; I < E.Items.size(); ++I) {
+        PlanArg A = resolvePlanArg(*E.Items[I], (*Items)[I]);
+        if (!A.resolvable())
+          return PlanArg::unknown();
+        Out.push_back(std::move(A));
+      }
+      return PlanArg::ofList(std::move(Out));
+    }
+    default:
+      if (V.containsParam())
+        return PlanArg::unknown();
+      return planArgFromValue(V);
+    }
+  }
+
+  /// RAII-less taint scope: call before evaluating an expression whose
+  /// divergence matters, then taintedSince() afterwards.
+  std::pair<bool, bool> beginTaintScope() {
+    std::pair<bool, bool> Saved{TaintedEval, OpaqueEval};
+    TaintedEval = OpaqueEval = false;
+    return Saved;
+  }
+  bool endTaintScope(std::pair<bool, bool> Saved) {
+    bool Fired = TaintedEval || OpaqueEval;
+    TaintedEval = TaintedEval || Saved.first;
+    OpaqueEval = OpaqueEval || Saved.second;
+    return Fired;
+  }
+
+  bool recordingPlan() const {
+    return Plan != nullptr && M == Mode::Extract && !PlanBarrier;
+  }
+
+  /// Evaluates a control-flow condition. In plan-recording mode a condition
+  /// whose extraction-time value may diverge from its concrete-mode value
+  /// (and is not a search value, for which every arm is walked) takes a
+  /// definite branch here that the concrete run may not take: recording must
+  /// stop at that point (the entries so far remain a valid prefix).
+  Value evalCond(const LExpr &E, std::map<std::string, Value> &Env) {
+    if (!(Plan && M == Mode::Extract))
+      return evalExpr(E, Env);
+    std::pair<bool, bool> Saved = beginTaintScope();
+    Value C = evalExpr(E, Env);
+    bool Diverges = endTaintScope(Saved);
+    if (Diverges && !C.isParam() && !C.containsParam())
+      PlanBarrier = true;
+    return C;
+  }
+
+  /// Whether any Call/SearchCall node appears in \p E. Used when a
+  /// short-circuit operator skips its right operand during extraction: the
+  /// concrete run may still evaluate it, so an unwalked operand that could
+  /// apply a transformation (or register a construct) bars further
+  /// recording.
+  static bool exprContainsCall(const LExpr &E) {
+    if (E.Kind == LExprKind::Call || E.Kind == LExprKind::SearchCall)
+      return true;
+    auto Check = [](const LExprPtr &P) {
+      return P && exprContainsCall(*P);
+    };
+    if (Check(E.Base) || Check(E.Sub) || Check(E.Lhs) || Check(E.Rhs) ||
+        Check(E.RangeLo) || Check(E.RangeHi) || Check(E.RangeStep))
+      return true;
+    for (const LExprPtr &I : E.Items)
+      if (Check(I))
+        return true;
+    for (const LArg &A : E.Args)
+      if (Check(A.Expr))
+        return true;
+    return false;
+  }
 };
 
 } // namespace
@@ -932,7 +1327,15 @@ LocusInterpreter::LocusInterpreter(const LocusProgram &LProg,
 ExecOutcome LocusInterpreter::extractSpace(cir::Program &Target,
                                            search::Space &SpaceOut,
                                            transform::TransformContext &TCtx) {
-  Engine E(LProg, Registry, Mode::Extract, &SpaceOut, nullptr, &Target, &TCtx);
+  return extractSpace(Target, SpaceOut, TCtx, nullptr);
+}
+
+ExecOutcome LocusInterpreter::extractSpace(cir::Program &Target,
+                                           search::Space &SpaceOut,
+                                           transform::TransformContext &TCtx,
+                                           analysis::TransformPlan *PlanOut) {
+  Engine E(LProg, Registry, Mode::Extract, &SpaceOut, nullptr, &Target, &TCtx,
+           PlanOut);
   return E.run();
 }
 

@@ -26,6 +26,7 @@
 #ifndef LOCUS_LOCUS_INTERPRETER_H
 #define LOCUS_LOCUS_INTERPRETER_H
 
+#include "src/analysis/TransformPlan.h"
 #include "src/cir/Ast.h"
 #include "src/locus/LocusAst.h"
 #include "src/locus/Modules.h"
@@ -87,6 +88,16 @@ public:
   /// first region matching each CodeReg.
   ExecOutcome extractSpace(cir::Program &Target, search::Space &SpaceOut,
                            transform::TransformContext &TCtx);
+
+  /// Extract mode that additionally records a TransformPlan: the sequence of
+  /// dependent-range checks and mutating module calls (with symbolically
+  /// resolved arguments) the concrete runs will perform, for the static
+  /// legality oracle. Recording is conservative: any value whose
+  /// extraction-time state may diverge from its concrete-mode state degrades
+  /// to Unknown rather than being recorded wrongly.
+  ExecOutcome extractSpace(cir::Program &Target, search::Space &SpaceOut,
+                           transform::TransformContext &TCtx,
+                           analysis::TransformPlan *PlanOut);
 
   /// Concrete mode: applies the program under \p Point to every matching
   /// region of \p Target (mutating it in place).

@@ -376,8 +376,42 @@ ModuleOutcome queryOuterLoops(const ModuleArgs &Args, ModuleCallContext &Ctx) {
 
 } // namespace
 
+namespace {
+
+/// The region's own source location, falling back to its first statement's.
+support::SrcLoc regionLoc(const cir::Block &Region) {
+  if (Region.Loc.valid())
+    return Region.Loc;
+  for (const auto &S : Region.Stmts)
+    if (S->Loc.valid())
+      return S->Loc;
+  return support::SrcLoc{};
+}
+
+} // namespace
+
 void ModuleRegistry::add(const std::string &Module, const std::string &Member,
                          ModuleMember M) {
+  // Decorate every Illegal/Error result with the region name and source
+  // location at this single choke point, so no individual wrapper can emit
+  // a bare reason string.
+  ModuleFn Inner = std::move(M.Fn);
+  M.Fn = [Inner](const ModuleArgs &Args, ModuleCallContext &Ctx) {
+    ModuleOutcome O = Inner(Args, Ctx);
+    transform::TransformResult &R = O.Result;
+    bool Failed = R.Status == transform::TransformStatus::Illegal ||
+                  R.Status == transform::TransformStatus::Error;
+    if (Failed && Ctx.Region) {
+      if (R.Region.empty())
+        R.Region = Ctx.Region->RegionName;
+      if (!R.Loc.valid())
+        R.Loc = regionLoc(*Ctx.Region);
+      if (!R.Region.empty())
+        R.Message =
+            "region '" + R.Region + "' (" + R.Loc.str() + "): " + R.Message;
+    }
+    return O;
+  };
   Collections[Module][Member] = std::move(M);
 }
 

@@ -28,6 +28,7 @@
 #include <functional>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -139,6 +140,14 @@ struct SearchOptions {
   /// Journal sink: called once per fresh (non-replayed) evaluation, in
   /// order. Used to append to the on-disk journal.
   std::function<void(const EvalRecord &)> OnFreshEval;
+
+  /// Static legality oracle: returns the failure the objective would report
+  /// for a point it can prove invalid without materializing the variant, or
+  /// nullopt when the point must be evaluated. Pruned points count in
+  /// SearchResult::PrunedStatic and otherwise flow through the searcher
+  /// exactly like an evaluated failure, so the trajectory (and the best
+  /// point found) is unchanged.
+  std::function<std::optional<EvalOutcome>(const Point &)> StaticFilter;
 };
 
 struct SearchResult {
@@ -149,6 +158,8 @@ struct SearchResult {
   int ReplayedEvaluations = 0; ///< of those, satisfied from Replay
   int InvalidPoints = 0;       ///< points rejected as invalid (any kind)
   int DuplicatesSkipped = 0;   ///< proposals identical to evaluated variants
+  int PrunedStatic = 0;        ///< of InvalidPoints, proven by StaticFilter
+                               ///< without invoking the objective
   /// Per-kind failure counts, indexed by FailureKind; the entries other
   /// than None sum to InvalidPoints.
   std::array<int, NumFailureKinds> FailureCounts{};

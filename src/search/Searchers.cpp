@@ -195,6 +195,15 @@ public:
       Out.Detail = RIt->second.Detail;
       ReplayCache.erase(RIt);
       ++Result.ReplayedEvaluations;
+    } else if (Opts.StaticFilter) {
+      // Statically provable failures skip materialization/evaluation but
+      // count and record exactly like an evaluated failure.
+      if (std::optional<EvalOutcome> Pruned = Opts.StaticFilter(P)) {
+        Out = std::move(*Pruned);
+        ++Result.PrunedStatic;
+      } else {
+        Out = Obj.assess(P);
+      }
     } else {
       Out = Obj.assess(P);
     }

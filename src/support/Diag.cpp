@@ -1,0 +1,75 @@
+//===- Diag.cpp - Severity/location diagnostics ----------------------------===//
+
+#include "src/support/Diag.h"
+
+#include <cassert>
+
+namespace locus {
+namespace support {
+
+std::string SrcLoc::str() const {
+  if (!valid())
+    return "<unknown location>";
+  std::string S = "line " + std::to_string(Line);
+  if (Col > 0)
+    S += ":" + std::to_string(Col);
+  return S;
+}
+
+const char *diagSeverityName(DiagSeverity S) {
+  switch (S) {
+  case DiagSeverity::Note:
+    return "note";
+  case DiagSeverity::Warning:
+    return "warning";
+  case DiagSeverity::Error:
+    return "error";
+  }
+  return "error";
+}
+
+std::string Diag::render() const {
+  std::string Out = Loc.str() + ": " + diagSeverityName(Sev) + ": ";
+  if (!Region.empty())
+    Out += "[" + Region + "] ";
+  Out += Message;
+  return Out;
+}
+
+void DiagEngine::report(DiagSeverity Sev, SrcLoc Loc, std::string Region,
+                        std::string Message) {
+  Diags.push_back(Diag{Sev, Loc, std::move(Region), std::move(Message)});
+}
+
+bool DiagEngine::hasErrors() const {
+  for (const Diag &D : Diags)
+    if (D.Sev == DiagSeverity::Error)
+      return true;
+  return false;
+}
+
+size_t DiagEngine::errorCount() const {
+  size_t N = 0;
+  for (const Diag &D : Diags)
+    if (D.Sev == DiagSeverity::Error)
+      ++N;
+  return N;
+}
+
+const Diag &DiagEngine::firstError() const {
+  for (const Diag &D : Diags)
+    if (D.Sev == DiagSeverity::Error)
+      return D;
+  assert(false && "firstError() without errors");
+  return Diags.front();
+}
+
+std::string DiagEngine::renderAll() const {
+  std::string Out;
+  for (const Diag &D : Diags)
+    Out += D.render() + "\n";
+  return Out;
+}
+
+} // namespace support
+} // namespace locus

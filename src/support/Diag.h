@@ -1,0 +1,83 @@
+//===- Diag.h - Severity/location diagnostics -------------------*- C++ -*-===//
+///
+/// \file
+/// The diagnostics engine shared by the CIR verifier, the dependence
+/// analyzer and the lint workflow. A diagnostic carries a severity, a source
+/// location in the analyzed MiniC file (threaded through the lexer, parser
+/// and AST as SrcLoc), and the name of the Locus code region it concerns,
+/// so a failed legality check or a broken rewrite points at the line that
+/// caused it instead of surfacing as a bare reason string.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SUPPORT_DIAG_H
+#define LOCUS_SUPPORT_DIAG_H
+
+#include <string>
+#include <vector>
+
+namespace locus {
+namespace support {
+
+/// A position in the analyzed source: 1-based line and column. Line 0 means
+/// "no location" (e.g. AST nodes synthesized by a transformation).
+struct SrcLoc {
+  int Line = 0;
+  int Col = 0;
+
+  bool valid() const { return Line > 0; }
+
+  /// "line 12:5", "line 12", or "<unknown location>".
+  std::string str() const;
+};
+
+enum class DiagSeverity { Note, Warning, Error };
+
+const char *diagSeverityName(DiagSeverity S);
+
+/// One diagnostic: severity + location + region context + message.
+struct Diag {
+  DiagSeverity Sev = DiagSeverity::Error;
+  SrcLoc Loc;
+  std::string Region; ///< Locus region name; may be empty
+  std::string Message;
+
+  /// "line 12:5: error: [matmul] message".
+  std::string render() const;
+};
+
+/// Accumulates diagnostics; used by the verifier and the lint workflow.
+class DiagEngine {
+public:
+  void report(DiagSeverity Sev, SrcLoc Loc, std::string Region,
+              std::string Message);
+  void error(SrcLoc Loc, std::string Region, std::string Message) {
+    report(DiagSeverity::Error, Loc, std::move(Region), std::move(Message));
+  }
+  void warning(SrcLoc Loc, std::string Region, std::string Message) {
+    report(DiagSeverity::Warning, Loc, std::move(Region), std::move(Message));
+  }
+  void note(SrcLoc Loc, std::string Region, std::string Message) {
+    report(DiagSeverity::Note, Loc, std::move(Region), std::move(Message));
+  }
+
+  const std::vector<Diag> &all() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+
+  bool hasErrors() const;
+  size_t errorCount() const;
+
+  /// The first error diagnostic; only valid when hasErrors().
+  const Diag &firstError() const;
+
+  /// All diagnostics rendered one per line (trailing newline included when
+  /// non-empty).
+  std::string renderAll() const;
+
+private:
+  std::vector<Diag> Diags;
+};
+
+} // namespace support
+} // namespace locus
+
+#endif // LOCUS_SUPPORT_DIAG_H

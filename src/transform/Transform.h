@@ -34,15 +34,31 @@ struct TransformResult {
   TransformStatus Status = TransformStatus::Success;
   std::string Message;
 
-  static TransformResult success() { return {TransformStatus::Success, ""}; }
+  /// Name of the code region the module was applied to; filled by the module
+  /// registry layer so every Illegal/Error diagnostic carries its region.
+  std::string Region;
+
+  /// Source location of the region (or failing construct) the status refers
+  /// to; filled alongside Region.
+  support::SrcLoc Loc;
+
+  static TransformResult make(TransformStatus S, std::string Why) {
+    TransformResult R;
+    R.Status = S;
+    R.Message = std::move(Why);
+    return R;
+  }
+  static TransformResult success() {
+    return make(TransformStatus::Success, "");
+  }
   static TransformResult noop(std::string Why = "") {
-    return {TransformStatus::NoOp, std::move(Why)};
+    return make(TransformStatus::NoOp, std::move(Why));
   }
   static TransformResult illegal(std::string Why) {
-    return {TransformStatus::Illegal, std::move(Why)};
+    return make(TransformStatus::Illegal, std::move(Why));
   }
   static TransformResult error(std::string Why) {
-    return {TransformStatus::Error, std::move(Why)};
+    return make(TransformStatus::Error, std::move(Why));
   }
 
   bool succeeded() const { return Status == TransformStatus::Success; }
@@ -65,6 +81,11 @@ struct TransformContext {
   /// Named code snippets for BuiltIn.Altdesc; stands in for the external
   /// snippet files of Fig. 11 (scatter_DZG.txt, ...).
   std::map<std::string, std::string> Snippets;
+
+  /// When true, the interpreter runs the CIR verifier after every mutating
+  /// module call (LLVM's -verify-each discipline); a transformation that
+  /// produces invalid IR fails at the rewrite that introduced it.
+  bool VerifyEach = false;
 };
 
 /// Collects declared element types (globals plus every local declaration).

@@ -274,5 +274,153 @@ int main() {
   EXPECT_TRUE(Deps->distributionLegal(*Loop));
 }
 
+//===----------------------------------------------------------------------===//
+// Weak SIV and symbolic subscripts (previously classified '*')
+//===----------------------------------------------------------------------===//
+
+/// True when any dependence connects an access to array \p Name.
+bool hasDepOn(const DependenceInfo &Deps, const std::string &Name) {
+  for (const Dependence &D : Deps.deps())
+    if (D.Array == Name)
+      return true;
+  return false;
+}
+
+TEST(Dependence, WeakZeroSivProvesIndependence) {
+  // Write A[5] vs read A[i + 20]: the weak-zero test solves i = 5 - 20,
+  // outside [0, 9], so the pair is independent (before this test it was a
+  // conservative '*' dependence).
+  auto P = parse(R"(
+double A[64];
+double B[16];
+double C[16];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++) {
+    A[5] = B[i];
+    C[i] = A[i + 20];
+  }
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_FALSE(hasDepOn(*Deps, "A"));
+}
+
+TEST(Dependence, WeakZeroSivKeepsRealDependence) {
+  // Control: A[i + 2] does hit the constant write when i = 3.
+  auto P = parse(R"(
+double A[64];
+double B[16];
+double C[16];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++) {
+    A[5] = B[i];
+    C[i] = A[i + 2];
+  }
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_TRUE(hasDepOn(*Deps, "A"));
+}
+
+TEST(Dependence, WeakCrossingSivProvesIndependence) {
+  // A[i] vs A[19 - i]: crossing point at i = 9.5; with i in [0, 9] the sum
+  // constraint 19 > 2*9 means the accesses never meet.
+  auto P = parse(R"(
+double A[32];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++)
+    A[i] = A[19 - i] + 1.0;
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_FALSE(hasDepOn(*Deps, "A"));
+}
+
+TEST(Dependence, WeakCrossingSivKeepsRealDependence) {
+  // Control: A[i] vs A[15 - i] cross inside the iteration space (i = 7.5
+  // between iterations 7 and 8).
+  auto P = parse(R"(
+double A[32];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++)
+    A[i] = A[15 - i] + 1.0;
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_TRUE(hasDepOn(*Deps, "A"));
+}
+
+TEST(Dependence, MismatchedSymbolicPartsUseGcd) {
+  // A[2i + 2M] vs A[2i + 1]: the symbolic parts differ by 2M - 1, which is
+  // odd for every M while the induction coefficients are even — the
+  // symbolic GCD test proves independence without knowing M.
+  auto P = parse(R"(
+double A[256];
+double B[64];
+int M;
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++) {
+    A[2 * i + 2 * M] = 1.0;
+    B[i] = A[2 * i + 1];
+  }
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_FALSE(hasDepOn(*Deps, "A"));
+}
+
+TEST(Dependence, MismatchedSymbolicPartsKeepPossibleDependence) {
+  // Control: A[2i + 4] vs A[2i + 1]... both even coefficients but the
+  // constant difference is odd -> independent; whereas A[2i + 4] vs
+  // A[2i + 2] shares parity -> the dependence must survive.
+  auto P = parse(R"(
+double A[256];
+double B[64];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++) {
+    A[2 * i + 4] = 1.0;
+    B[i] = A[2 * i + 2];
+  }
+}
+)");
+  auto Deps = DependenceInfo::compute(*firstLoop(*P, "r"));
+  ASSERT_TRUE(Deps.has_value());
+  EXPECT_TRUE(hasDepOn(*Deps, "A"));
+}
+
+TEST(Dependence, WhyNotDiagnosticIsLocated) {
+  auto P = parse(R"(
+double A[16];
+int idx[16];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 16; i++)
+    A[idx[i]] = 1.0;
+}
+)");
+  support::Diag Why;
+  EXPECT_FALSE(DependenceInfo::compute(*firstLoop(*P, "r"), &Why).has_value());
+  EXPECT_FALSE(Why.Message.empty());
+  EXPECT_TRUE(Why.Loc.valid()) << Why.render();
+}
+
 } // namespace
 } // namespace locus

@@ -7,6 +7,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "src/analysis/Verifier.h"
 #include "src/cir/AstUtils.h"
 #include "src/cir/Parser.h"
 #include "src/cir/PathIndex.h"
@@ -340,6 +341,13 @@ int main() {
   }
   SCOPED_TRACE("seed " + std::to_string(Seed) + ", " +
                std::to_string(Applied) + " transforms applied");
+  // Every accepted composition must produce verifier-clean IR (including
+  // the unparse→reparse round trip) ...
+  support::DiagEngine Diags;
+  EXPECT_TRUE(analysis::verifyProgram(*Variant, Diags))
+      << Diags.renderAll() << "\n=== printed ===\n"
+      << printProgram(*Variant);
+  // ... and preserve semantics.
   expectEquivalent(*Base, *Variant, "random composition seed " +
                                         std::to_string(Seed));
 }

@@ -233,5 +233,70 @@ TEST(Searchers, EnumerateValuesShapes) {
     EXPECT_GT(std::get<int64_t>(Values[I]), std::get<int64_t>(Values[I - 1]));
 }
 
+//===----------------------------------------------------------------------===//
+// Static pre-evaluation filter
+//===----------------------------------------------------------------------===//
+
+/// Objective mirroring what the legality oracle guarantees at the driver
+/// level: points with b < 4 are invalid. The filter proves a SUBSET of them
+/// (b < 2) statically; the rest still fail through the objective.
+struct FilterHarness {
+  int Invocations = 0;
+  SearchResult run(const std::string &Searcher, bool WithFilter) {
+    Invocations = 0;
+    Space S = mixedSpace();
+    LambdaObjective Obj([this](const Point &P) {
+      ++Invocations;
+      if (P.getInt("b") < 4)
+        return EvalOutcome::fail(FailureKind::InvalidPoint, "b out of range");
+      bool Valid = false;
+      double M = synthetic(P, Valid);
+      return EvalOutcome::success(M);
+    });
+    SearchOptions Opts;
+    Opts.MaxEvaluations = 200;
+    Opts.Seed = 11;
+    if (WithFilter)
+      Opts.StaticFilter = [](const Point &P) -> std::optional<EvalOutcome> {
+        if (P.getInt("b") < 2)
+          return EvalOutcome::fail(FailureKind::InvalidPoint, "b out of range");
+        return std::nullopt;
+      };
+    return makeSearcher(Searcher)->search(S, Obj, Opts);
+  }
+};
+
+TEST(Search, StaticFilterShortCircuitsTheObjective) {
+  for (const char *Name : {"random", "bandit", "exhaustive"}) {
+    FilterHarness H;
+    SearchResult Off = H.run(Name, false);
+    int InvocationsOff = H.Invocations;
+    SearchResult On = H.run(Name, true);
+    int InvocationsOn = H.Invocations;
+
+    // The filter fired, the objective ran strictly fewer times, and the
+    // budget accounting is unchanged.
+    EXPECT_GT(On.PrunedStatic, 0) << Name;
+    EXPECT_EQ(Off.PrunedStatic, 0) << Name;
+    EXPECT_LT(InvocationsOn, InvocationsOff) << Name;
+    EXPECT_EQ(InvocationsOn, On.Evaluations - On.PrunedStatic) << Name;
+    EXPECT_EQ(On.Evaluations, Off.Evaluations) << Name;
+    EXPECT_EQ(On.InvalidPoints, Off.InvalidPoints) << Name;
+
+    // Same trajectory, same winner: a pruned point flows through the
+    // searcher exactly like an evaluated failure.
+    ASSERT_EQ(On.History.size(), Off.History.size()) << Name;
+    for (size_t I = 0; I < On.History.size(); ++I) {
+      EXPECT_EQ(On.History[I].P.key(), Off.History[I].P.key())
+          << Name << " diverged at step " << I;
+      EXPECT_EQ(On.History[I].Valid, Off.History[I].Valid) << Name;
+    }
+    ASSERT_TRUE(On.Found) << Name;
+    ASSERT_TRUE(Off.Found) << Name;
+    EXPECT_EQ(On.Best.key(), Off.Best.key()) << Name;
+    EXPECT_DOUBLE_EQ(On.BestMetric, Off.BestMetric) << Name;
+  }
+}
+
 } // namespace
 } // namespace locus

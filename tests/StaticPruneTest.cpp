@@ -1,0 +1,172 @@
+//===- StaticPruneTest.cpp - Static legality oracle end-to-end tests ----------===//
+///
+/// \file
+/// Exercises the pre-evaluation pruning pipeline: plan extraction during
+/// extractSpace, LegalityOracle classification inside the search loop, and
+/// the invariant the oracle must uphold — pruning changes how much a search
+/// costs, never what it finds.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/cir/Parser.h"
+#include "src/driver/Orchestrator.h"
+#include "src/locus/LocusParser.h"
+#include "src/workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace locus {
+namespace {
+
+using driver::Orchestrator;
+using driver::OrchestratorOptions;
+
+std::unique_ptr<lang::LocusProgram> parseLocusOrDie(const std::string &Src) {
+  auto P = lang::parseLocusProgram(Src);
+  EXPECT_TRUE(P.ok()) << P.message();
+  return P.ok() ? std::move(*P) : nullptr;
+}
+
+std::unique_ptr<cir::Program> parseCOrDie(const std::string &Src) {
+  auto P = cir::parseProgram(Src);
+  EXPECT_TRUE(P.ok()) << P.message();
+  return P.ok() ? std::move(*P) : nullptr;
+}
+
+OrchestratorOptions tinyOptions() {
+  OrchestratorOptions Opts;
+  Opts.Eval.Machine = machine::MachineConfig::tiny();
+  Opts.MaxEvaluations = 30;
+  Opts.Seed = 5;
+  return Opts;
+}
+
+driver::SearchWorkflowResult runFig7(bool StaticPrune) {
+  auto LP = parseLocusOrDie(workloads::dgemmLocusFig7(16));
+  auto CP = parseCOrDie(workloads::dgemmSource(32, 32, 32));
+  OrchestratorOptions Opts = tinyOptions();
+  Opts.MaxEvaluations = 40;
+  Opts.StaticPrune = StaticPrune;
+  Orchestrator Orch(*LP, *CP, Opts);
+  auto R = Orch.runSearch();
+  EXPECT_TRUE(R.ok()) << R.message();
+  return std::move(*R);
+}
+
+/// The Fig. 7 program has dependent ranges (tileI_2 = poweroftwo(2..tileI))
+/// whose static extremes exceed the dependent bound for most outer values,
+/// so the samplers regularly propose provably-invalid points. The oracle
+/// must prune some of them — and must not change the search trajectory.
+TEST(StaticPrune, Fig7PrunesWithoutChangingTheOutcome) {
+  driver::SearchWorkflowResult On = runFig7(true);
+  driver::SearchWorkflowResult Off = runFig7(false);
+
+  // The prune actually fired, and only when enabled.
+  EXPECT_GT(On.Search.PrunedStatic, 0);
+  EXPECT_EQ(Off.Search.PrunedStatic, 0);
+
+  // Objective invocations strictly decrease: every evaluation in the Off
+  // run invoked the evaluator; in the On run PrunedStatic of them did not.
+  EXPECT_LT(On.Search.Evaluations - On.Search.PrunedStatic,
+            Off.Search.Evaluations);
+
+  // Identical trajectory: same budget consumed, same per-step outcomes,
+  // same winner. A pruned point flows through the searcher exactly like an
+  // evaluated failure.
+  EXPECT_EQ(On.Search.Evaluations, Off.Search.Evaluations);
+  EXPECT_EQ(On.Search.InvalidPoints, Off.Search.InvalidPoints);
+  ASSERT_EQ(On.Search.History.size(), Off.Search.History.size());
+  for (size_t I = 0; I < On.Search.History.size(); ++I) {
+    EXPECT_EQ(On.Search.History[I].P.key(), Off.Search.History[I].P.key())
+        << "trajectory diverged at step " << I;
+    EXPECT_EQ(On.Search.History[I].Valid, Off.Search.History[I].Valid);
+    if (On.Search.History[I].Valid) {
+      EXPECT_DOUBLE_EQ(On.Search.History[I].Metric,
+                       Off.Search.History[I].Metric);
+    }
+  }
+  EXPECT_EQ(driver::serializePoint(On.Search.Best),
+            driver::serializePoint(Off.Search.Best));
+  EXPECT_DOUBLE_EQ(On.Search.BestMetric, Off.Search.BestMetric);
+}
+
+/// A permutation parameter fed to Interchange over a loop nest with a (<,>)
+/// dependence: the swapped order is illegal, and the oracle proves it by
+/// replaying the module call on a private copy of the region — no variant
+/// is materialized, no evaluator runs.
+TEST(StaticPrune, ReplayPrunesIllegalInterchange) {
+  auto CP = parseCOrDie(R"(
+double A[64][64];
+int main() {
+  int i, j;
+#pragma @Locus loop=nest
+  for (i = 1; i < 64; i++)
+    for (j = 0; j < 63; j++)
+      A[i][j] = A[i-1][j+1] + 1.0;
+}
+)");
+  auto LP = parseLocusOrDie(R"(
+Search {
+  buildcmd = "make";
+  runcmd = "./nest";
+}
+
+CodeReg nest {
+  order = permutation([0, 1]);
+  RoseLocus.Interchange(order=order);
+}
+)");
+  OrchestratorOptions Opts = tinyOptions();
+  Opts.SearcherName = "exhaustive";
+  Orchestrator Orch(*LP, *CP, Opts);
+  auto R = Orch.runSearch();
+  ASSERT_TRUE(R.ok()) << R.message();
+
+  // Two points exist: identity (legal, NoOp) and the swap (illegal).
+  EXPECT_EQ(R->Search.Evaluations, 2);
+  EXPECT_EQ(R->Search.PrunedStatic, 1);
+  EXPECT_EQ(R->Search.failures(search::FailureKind::TransformIllegal), 1);
+  EXPECT_TRUE(R->Search.Found);
+
+  // The pruned record carries the module's located illegality diagnostic.
+  bool SawDetail = false;
+  for (const auto &Rec : R->Search.History)
+    if (!Rec.Valid &&
+        Rec.Detail.find("interchange violates a dependence") !=
+            std::string::npos)
+      SawDetail = true;
+  EXPECT_TRUE(SawDetail);
+}
+
+/// Dependent integer ranges prune without any module replay: a point with
+/// tf > tile violates "tf = poweroftwo(2..tile)" and is rejected from the
+/// recorded range check alone.
+TEST(StaticPrune, DependentRangeViolationsPruneWithoutReplay) {
+  auto CP = parseCOrDie(workloads::dgemmSource(16, 16, 16));
+  auto LP = parseLocusOrDie(R"(
+Search {
+  buildcmd = "make";
+  runcmd = "./matmul";
+}
+
+CodeReg matmul {
+  tile = poweroftwo(2..8);
+  tf = poweroftwo(2..tile);
+  RoseLocus.Tiling(loop="0", factor=tile);
+}
+)");
+  OrchestratorOptions Opts = tinyOptions();
+  Opts.SearcherName = "exhaustive";
+  Orchestrator Orch(*LP, *CP, Opts);
+  auto R = Orch.runSearch();
+  ASSERT_TRUE(R.ok()) << R.message();
+
+  // Space is tile in {2,4,8} x tf in {2,4,8}: exactly three combinations
+  // violate tf <= tile (tf=4>2, tf=8>2, tf=8>4), all provable statically.
+  EXPECT_EQ(R->Search.PrunedStatic, 3);
+  EXPECT_EQ(R->Search.failures(search::FailureKind::InvalidPoint), 3);
+  EXPECT_TRUE(R->Search.Found);
+}
+
+} // namespace
+} // namespace locus

@@ -1,0 +1,341 @@
+//===- VerifierTest.cpp - CIR verifier unit + mutation tests ------------------===//
+///
+/// \file
+/// Unit tests for analysis::verifyProgram / verifyAfterTransform, plus the
+/// mutation test the verifier exists for: a deliberately buggy unroll that
+/// drops its remainder iterations produces structurally valid IR that every
+/// other check accepts — only statement-instance accounting (run under
+/// verify-each) catches it, at the rewrite that introduced it, with a
+/// located diagnostic instead of a checksum mismatch a full evaluation
+/// later.
+///
+//===----------------------------------------------------------------------===//
+
+#include "src/analysis/Verifier.h"
+#include "src/cir/Parser.h"
+#include "src/cir/Printer.h"
+#include "src/locus/Interpreter.h"
+#include "src/locus/LocusParser.h"
+
+#include <gtest/gtest.h>
+
+namespace locus {
+namespace {
+
+using namespace analysis;
+
+std::unique_ptr<cir::Program> parseC(const std::string &Src) {
+  auto P = cir::parseProgram(Src);
+  EXPECT_TRUE(P.ok()) << P.message();
+  return P.ok() ? std::move(*P) : nullptr;
+}
+
+bool verify(const cir::Program &P, support::DiagEngine &Diags) {
+  return verifyProgram(P, Diags);
+}
+
+/// First error message, or "" when none.
+std::string firstError(const support::DiagEngine &Diags) {
+  return Diags.hasErrors() ? Diags.firstError().Message : "";
+}
+
+TEST(Verifier, CleanProgramPasses) {
+  auto P = parseC(R"(
+double A[32][32];
+int main() {
+  int i, j;
+#pragma @Locus loop=nest
+  for (i = 0; i < 32; i++)
+    for (j = 0; j < 32; j++)
+      A[i][j] = A[i][j] * 2.0;
+}
+)");
+  support::DiagEngine Diags;
+  EXPECT_TRUE(verify(*P, Diags)) << Diags.renderAll();
+  EXPECT_FALSE(Diags.hasErrors());
+}
+
+TEST(Verifier, UndefinedIdentifierIsALocatedError) {
+  auto P = parseC(R"(
+double A[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i++)
+    A[i] = q + 1.0;
+}
+)");
+  if (!P)
+    GTEST_SKIP() << "parser rejected the input before verification";
+  support::DiagEngine Diags;
+  EXPECT_FALSE(verify(*P, Diags));
+  ASSERT_TRUE(Diags.hasErrors());
+  EXPECT_NE(firstError(Diags).find("'q' does not resolve"), std::string::npos)
+      << firstError(Diags);
+  EXPECT_TRUE(Diags.firstError().Loc.valid())
+      << "error should carry the source line";
+}
+
+TEST(Verifier, ArrayRankMismatch) {
+  auto P = parseC(R"(
+double A[10][10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i++)
+    A[i] = 1.0;
+}
+)");
+  if (!P)
+    GTEST_SKIP() << "parser rejected the input before verification";
+  support::DiagEngine Diags;
+  EXPECT_FALSE(verify(*P, Diags));
+  EXPECT_NE(firstError(Diags).find("rank"), std::string::npos)
+      << firstError(Diags);
+}
+
+TEST(Verifier, InductionVariableReassignment) {
+  auto P = parseC(R"(
+double A[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i++) {
+    A[i] = 1.0;
+    i = i + 1;
+  }
+}
+)");
+  if (!P)
+    GTEST_SKIP() << "parser rejected the input before verification";
+  support::DiagEngine Diags;
+  EXPECT_FALSE(verify(*P, Diags));
+  EXPECT_NE(firstError(Diags).find("reassigned inside its loop"),
+            std::string::npos)
+      << firstError(Diags);
+}
+
+TEST(Verifier, InductionVariableRedefinedByNestedLoop) {
+  auto P = parseC(R"(
+double A[10][10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i++)
+    for (i = 0; i < 10; i++)
+      A[i][i] = 1.0;
+}
+)");
+  if (!P)
+    GTEST_SKIP() << "parser rejected the input before verification";
+  support::DiagEngine Diags;
+  EXPECT_FALSE(verify(*P, Diags));
+  EXPECT_NE(firstError(Diags).find("redefined by a nested loop"),
+            std::string::npos)
+      << firstError(Diags);
+}
+
+TEST(Verifier, DuplicateRegionLabelWarnsButPasses) {
+  auto P = parseC(R"(
+double A[10];
+double B[10];
+int main() {
+  int i, j;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++)
+    A[i] = 1.0;
+#pragma @Locus loop=r
+  for (j = 0; j < 10; j++)
+    B[j] = 2.0;
+}
+)");
+  support::DiagEngine Diags;
+  EXPECT_TRUE(verify(*P, Diags));
+  bool SawWarning = false;
+  for (const auto &D : Diags.all())
+    if (D.Sev == support::DiagSeverity::Warning &&
+        D.Message.find("not unique") != std::string::npos)
+      SawWarning = true;
+  EXPECT_TRUE(SawWarning) << Diags.renderAll();
+}
+
+TEST(Verifier, RoundTripSurvivesPrinter) {
+  auto P = parseC(R"(
+double A[16][16];
+double s;
+int n;
+int main() {
+  int i, j;
+#pragma @Locus loop=k
+  for (i = 0; i < 16; i++) {
+    for (j = 0; j < 16; j++) {
+      if (j > 2)
+        A[i][j] = A[i][j - 1] + s * 0.5;
+    }
+  }
+}
+)");
+  support::DiagEngine Diags;
+  EXPECT_TRUE(verify(*P, Diags)) << Diags.renderAll();
+}
+
+TEST(Verifier, CountAssignInstances) {
+  auto P = parseC(R"(
+double A[8][4];
+int main() {
+  int i, j;
+#pragma @Locus loop=r
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 4; j++)
+      A[i][j] = 0.0;
+    A[i][0] = 1.0;
+  }
+}
+)");
+  auto Regions = P->findRegions("r");
+  ASSERT_EQ(Regions.size(), 1u);
+  std::optional<long long> N = countAssignInstances(*Regions[0]);
+  ASSERT_TRUE(N.has_value());
+  EXPECT_EQ(*N, 8 * 4 + 8);
+}
+
+TEST(Verifier, CountAssignInstancesIsNulloptUnderIf) {
+  auto P = parseC(R"(
+double A[8];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 8; i++)
+    if (i > 3)
+      A[i] = 0.0;
+}
+)");
+  auto Regions = P->findRegions("r");
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_FALSE(countAssignInstances(*Regions[0]).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Mutation test: a buggy unroll that drops the remainder iterations.
+//===----------------------------------------------------------------------===//
+
+/// The seeded bug: after a successful unroll, delete everything that
+/// follows the main loop in its replacement block — i.e. the remainder
+/// iterations. The result is structurally valid IR; only instance
+/// accounting can tell it apart from a correct unroll.
+void dropUnrollRemainder(cir::Block &B) {
+  for (auto &S : B.Stmts) {
+    if (auto *Inner = cir::dyn_cast<cir::Block>(S.get())) {
+      if (Inner->Stmts.size() > 1 &&
+          cir::dyn_cast<cir::ForStmt>(Inner->Stmts.front().get()))
+        Inner->Stmts.resize(1);
+      dropUnrollRemainder(*Inner);
+    } else if (auto *F = cir::dyn_cast<cir::ForStmt>(S.get())) {
+      dropUnrollRemainder(*F->Body);
+    } else if (auto *I = cir::dyn_cast<cir::IfStmt>(S.get())) {
+      dropUnrollRemainder(*I->Then);
+      if (I->Else)
+        dropUnrollRemainder(*I->Else);
+    }
+  }
+}
+
+lang::ModuleRegistry buggyUnrollRegistry() {
+  lang::ModuleRegistry R = lang::ModuleRegistry::standard();
+  const lang::ModuleMember *Real = R.find("RoseLocus", "Unroll");
+  EXPECT_NE(Real, nullptr);
+  lang::ModuleFn RealFn = Real->Fn;
+  lang::ModuleMember Buggy;
+  Buggy.Fn = [RealFn](const lang::ModuleArgs &Args,
+                      lang::ModuleCallContext &Ctx) {
+    lang::ModuleOutcome O = RealFn(Args, Ctx);
+    if (O.Result.succeeded() && Ctx.Region)
+      dropUnrollRemainder(*Ctx.Region);
+    return O;
+  };
+  Buggy.IsQuery = false;
+  R.add("RoseLocus", "Unroll", Buggy);
+  return R;
+}
+
+const char *unrollTarget() {
+  // Trip count 10, factor 4: two remainder iterations to drop.
+  return R"(
+double A[10];
+int main() {
+  int i;
+#pragma @Locus loop=r
+  for (i = 0; i < 10; i++)
+    A[i] = A[i] + 1.0;
+}
+)";
+}
+
+const char *unrollRecipe() {
+  return R"(
+CodeReg r {
+  RoseLocus.Unroll(factor=4);
+}
+)";
+}
+
+TEST(VerifierMutation, VerifyEachCatchesDroppedRemainder) {
+  auto CP = parseC(unrollTarget());
+  auto LPE = lang::parseLocusProgram(unrollRecipe());
+  ASSERT_TRUE(LPE.ok()) << LPE.message();
+  lang::ModuleRegistry Registry = buggyUnrollRegistry();
+  lang::LocusInterpreter Interp(**LPE, Registry);
+
+  transform::TransformContext TCtx;
+  TCtx.Prog = CP.get();
+  TCtx.VerifyEach = true;
+  lang::ExecOutcome Exec = Interp.applyDirect(*CP, TCtx);
+
+  // The verifier rejects the rewrite at the unroll call itself. (Ok stays
+  // true: invalidation is a skip signal, not a hard interpreter error.)
+  EXPECT_TRUE(Exec.InvalidPoint);
+  EXPECT_TRUE(Exec.IllegalTransform);
+  EXPECT_NE(Exec.InvalidReason.find("verification"), std::string::npos)
+      << Exec.InvalidReason;
+  EXPECT_NE(Exec.InvalidReason.find("instance"), std::string::npos)
+      << "expected the instance-accounting diagnostic, got: "
+      << Exec.InvalidReason;
+}
+
+TEST(VerifierMutation, WithoutVerifyEachTheBugSlipsThrough) {
+  auto CP = parseC(unrollTarget());
+  auto LPE = lang::parseLocusProgram(unrollRecipe());
+  ASSERT_TRUE(LPE.ok()) << LPE.message();
+  lang::ModuleRegistry Registry = buggyUnrollRegistry();
+  lang::LocusInterpreter Interp(**LPE, Registry);
+
+  transform::TransformContext TCtx;
+  TCtx.Prog = CP.get();
+  lang::ExecOutcome Exec = Interp.applyDirect(*CP, TCtx);
+
+  // Interpretation alone accepts the broken variant: the bug would only
+  // surface one full evaluation later, as a checksum mismatch.
+  EXPECT_TRUE(Exec.Ok) << Exec.Error;
+  EXPECT_FALSE(Exec.InvalidPoint) << Exec.InvalidReason;
+  auto Regions = CP->findRegions("r");
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(countAssignInstances(*Regions[0]).value_or(-1), 8)
+      << "the seeded bug should have dropped 2 of 10 instances";
+}
+
+TEST(VerifierMutation, CorrectUnrollPassesVerifyEach) {
+  auto CP = parseC(unrollTarget());
+  auto LPE = lang::parseLocusProgram(unrollRecipe());
+  ASSERT_TRUE(LPE.ok()) << LPE.message();
+  lang::ModuleRegistry Registry = lang::ModuleRegistry::standard();
+  lang::LocusInterpreter Interp(**LPE, Registry);
+
+  transform::TransformContext TCtx;
+  TCtx.Prog = CP.get();
+  TCtx.VerifyEach = true;
+  lang::ExecOutcome Exec = Interp.applyDirect(*CP, TCtx);
+  EXPECT_TRUE(Exec.Ok) << Exec.Error << " / " << Exec.InvalidReason;
+  EXPECT_FALSE(Exec.InvalidPoint) << Exec.InvalidReason;
+  auto Regions = CP->findRegions("r");
+  ASSERT_EQ(Regions.size(), 1u);
+  EXPECT_EQ(countAssignInstances(*Regions[0]).value_or(-1), 10);
+}
+
+} // namespace
+} // namespace locus
