@@ -11,6 +11,12 @@
 //                         hillclimb, de, exhaustive
 //   --budget N            variant assessments (default 100)
 //   --seed N              search seed (default 42)
+//   --jobs N              concurrent evaluation workers (default 1); results
+//                         commit in proposal order, so the trajectory and
+//                         best point match the serial run exactly
+//   --no-eval-cache       disable the content-addressed evaluation cache
+//                         (distinct points materializing to the same variant
+//                         are then re-simulated each time)
 //   --machine xeon|tiny   simulated machine (default xeon)
 //   --cores N             override the core count
 //   --emit-c FILE         write the best variant as compilable C
@@ -20,6 +26,8 @@
 //                         C compiler (the paper's buildcmd/runcmd path)
 //   --journal FILE        append every assessed variant to FILE (crash-safe
 //                         JSONL journal, fsynced per record)
+//   --journal-sync MODE   durability per appended record: full (fsync, the
+//                         default), flush (kernel only), none (buffered)
 //   --resume              reload an existing --journal file and continue the
 //                         interrupted search where it left off
 //   --lint                static diagnostics only: run the CIR verifier on
@@ -74,11 +82,12 @@ bool writeFile(const std::string &Path, const std::string &Text) {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s PROGRAM.locus SOURCE.c [--direct] [--point FILE]\n"
-               "       [--search NAME] [--budget N] [--seed N]\n"
+               "       [--search NAME] [--budget N] [--seed N] [--jobs N]\n"
                "       [--machine xeon|tiny] [--cores N]\n"
                "       [--emit-c FILE] [--export-direct FILE]\n"
                "       [--export-point FILE] [--native]\n"
-               "       [--journal FILE] [--resume]\n"
+               "       [--journal FILE] [--journal-sync none|flush|full]\n"
+               "       [--resume] [--no-eval-cache]\n"
                "       [--lint] [--verify-each] [--no-static-prune]\n",
                Argv0);
   return 2;
@@ -202,6 +211,18 @@ int main(int argc, char **argv) {
     } else if (Arg == "--seed") {
       if (const char *V = Next())
         Opts.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (Arg == "--jobs") {
+      if (const char *V = Next()) {
+        Opts.Jobs = std::atoi(V);
+        if (Opts.Jobs < 1) {
+          std::fprintf(stderr, "--jobs wants a positive worker count\n");
+          return usage(argv[0]);
+        }
+      }
+    } else if (Arg == "--no-eval-cache") {
+      Opts.UseEvalCache = false;
+    } else if (Arg == "--eval-cache") {
+      Opts.UseEvalCache = true;
     } else if (Arg == "--machine") {
       const char *V = Next();
       if (V && std::strcmp(V, "tiny") == 0)
@@ -214,6 +235,15 @@ int main(int argc, char **argv) {
     } else if (Arg == "--journal") {
       if (const char *V = Next())
         Opts.JournalPath = V;
+    } else if (Arg == "--journal-sync") {
+      if (const char *V = Next()) {
+        bool SyncOk = false;
+        Opts.JournalSyncMode = search::parseJournalSync(V, SyncOk);
+        if (!SyncOk) {
+          std::fprintf(stderr, "unknown --journal-sync mode: %s\n", V);
+          return usage(argv[0]);
+        }
+      }
     } else if (Arg == "--resume") {
       Opts.ResumeFromJournal = true;
     } else if (Arg == "--emit-c") {
@@ -317,6 +347,17 @@ int main(int argc, char **argv) {
         std::printf("  %-17s %d\n",
                     search::failureKindName(static_cast<search::FailureKind>(K)),
                     N);
+    if (R->Search.PoolJobs > 1)
+      std::printf("pool: %d workers, %d batches (widest %d), %d of %d "
+                  "assessments dispatched in parallel\n",
+                  R->Search.PoolJobs, R->Search.Batches, R->Search.MaxBatch,
+                  R->Search.PooledEvaluations, R->Search.Evaluations);
+    if (R->Search.CacheHits || R->Search.CacheMisses)
+      std::printf("eval cache: %llu hits / %llu misses, %llu cross-point "
+                  "dedup saves\n",
+                  (unsigned long long)R->Search.CacheHits,
+                  (unsigned long long)R->Search.CacheMisses,
+                  (unsigned long long)R->Search.CacheDedupSaves);
     if (R->Guard.UnstableRetries || R->Guard.QuarantinedPoints)
       std::printf("guards: %d unstable retries (%d recovered), %d points "
                   "quarantined (%d rejects)\n",

@@ -7,8 +7,10 @@
 #include "src/analysis/LegalityOracle.h"
 #include "src/analysis/TransformPlan.h"
 #include "src/cir/AstUtils.h"
+#include "src/cir/Printer.h"
 #include "src/search/Journal.h"
 #include "src/search/PointCodec.h"
+#include "src/support/Hashing.h"
 #include "src/support/StringUtils.h"
 
 #include <cmath>
@@ -97,16 +99,21 @@ namespace {
 /// The Objective plugged into the search module: materialize the variant for
 /// a point, measure it on the machine model, and classify every failure
 /// mode so the searchers can count them per kind.
-class VariantObjective : public search::Objective {
+///
+/// A BatchObjective: every call builds its own variant clone, interpreter
+/// and evaluator, and touches no mutable member except the (thread-safe)
+/// EvalCache, so the evaluation pool may assess distinct points
+/// concurrently.
+class VariantObjective : public search::BatchObjective {
 public:
   VariantObjective(const lang::LocusProgram &LProg,
                    const lang::ModuleRegistry &Registry,
                    const cir::Program &Baseline,
                    const OrchestratorOptions &Opts, double BaselineChecksum,
-                   uint64_t DeadlineIterations)
+                   uint64_t DeadlineIterations, search::EvalCache *Cache)
       : LProg(LProg), Registry(Registry), Baseline(Baseline), Opts(Opts),
         BaselineChecksum(BaselineChecksum),
-        DeadlineIterations(DeadlineIterations) {}
+        DeadlineIterations(DeadlineIterations), Cache(Cache) {}
 
   search::EvalOutcome assess(const search::Point &P) override {
     using search::EvalOutcome;
@@ -127,6 +134,29 @@ public:
                                    : FailureKind::InvalidPoint,
                                Exec.InvalidReason);
 
+    // Content-addressed cache: distinct points frequently materialize to
+    // the same transformed program (clamped tile sizes, no-op unrolls);
+    // the simulator metric of a variant is deterministic, so one
+    // evaluation serves every structurally-identical materialization.
+    uint64_t VariantHash = 0;
+    if (Cache) {
+      VariantHash = fnv1a(cir::printProgram(*Variant));
+      if (std::optional<EvalOutcome> Hit = Cache->lookup(VariantHash, P.key()))
+        return *Hit;
+    }
+
+    EvalOutcome Out = evaluateVariant(*Variant);
+    // MetricUnstable is never cached: the guard's bounded retries must
+    // re-measure, not be served the same flaky reading back.
+    if (Cache && Out.Failure != FailureKind::MetricUnstable)
+      Cache->insert(VariantHash, P.key(), Out);
+    return Out;
+  }
+
+private:
+  search::EvalOutcome evaluateVariant(const cir::Program &Variant) const {
+    using search::EvalOutcome;
+    using search::FailureKind;
     // Deadline guard: a variant that runs vastly longer than the baseline
     // cannot win the non-prescriptive selection anyway; cut it off instead
     // of running to the evaluator's global runaway budget.
@@ -134,7 +164,7 @@ public:
     if (DeadlineIterations > 0)
       EOpts.MaxIterations = std::min(EOpts.MaxIterations, DeadlineIterations);
 
-    eval::ProgramEvaluator Eval(*Variant, EOpts);
+    eval::ProgramEvaluator Eval(Variant, EOpts);
     Status Prep = Eval.prepare();
     if (!Prep.ok())
       return EvalOutcome::fail(FailureKind::PrepareFailed, Prep.message());
@@ -167,13 +197,13 @@ public:
     return EvalOutcome::success(Run.Cycles);
   }
 
-private:
   const lang::LocusProgram &LProg;
   const lang::ModuleRegistry &Registry;
   const cir::Program &Baseline;
   const OrchestratorOptions &Opts;
   double BaselineChecksum;
   uint64_t DeadlineIterations;
+  search::EvalCache *Cache;
 };
 
 /// Converts a fully resolved PlanArg back into a module-call Value for
@@ -257,14 +287,16 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   if (!Searcher)
     return Expected<SearchWorkflowResult>::error("unknown search module: " +
                                                  Opts.SearcherName);
+  search::EvalCache Cache;
   VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum,
-                       DeadlineIterations);
+                       DeadlineIterations, Opts.UseEvalCache ? &Cache : nullptr);
   // Guards 2+3: bounded retry of unstable metrics, quarantine of repeat
   // offenders.
   search::GuardedObjective Guarded(Obj, Opts.Guard);
   search::SearchOptions SOpts;
   SOpts.MaxEvaluations = Opts.MaxEvaluations;
   SOpts.Seed = Opts.Seed;
+  SOpts.Jobs = Opts.Jobs;
 
   // Static legality oracle: classify points against the recorded plan
   // before a variant is materialized. Replay goes through the same module
@@ -310,7 +342,7 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
             Loaded.message());
       SOpts.Replay = std::move(Loaded->Records);
     }
-    auto J = search::SearchJournal::open(Opts.JournalPath);
+    auto J = search::SearchJournal::open(Opts.JournalPath, Opts.JournalSyncMode);
     if (!J.ok())
       return Expected<SearchWorkflowResult>::error(J.message());
     Journal = std::move(*J);
@@ -321,6 +353,10 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
 
   Result.Search = Searcher->search(Result.Space, Guarded, SOpts);
   Result.Guard = Guarded.stats();
+  search::EvalCacheStats CStats = Cache.stats();
+  Result.Search.CacheHits = CStats.Hits;
+  Result.Search.CacheMisses = CStats.Misses;
+  Result.Search.CacheDedupSaves = CStats.DedupSaves;
 
   // Non-prescriptive selection (Section II): keep the baseline when no
   // variant improves on it.

@@ -21,7 +21,9 @@
 #include "src/locus/Interpreter.h"
 #include "src/locus/LocusAst.h"
 #include "src/locus/Optimizer.h"
+#include "src/search/EvalCache.h"
 #include "src/search/FaultTolerance.h"
+#include "src/search/Journal.h"
 #include "src/search/Search.h"
 
 #include <cstdlib>
@@ -41,6 +43,20 @@ struct OrchestratorOptions {
   /// extracted loop nest at 500).
   int MaxEvaluations = 100;
   uint64_t Seed = 42;
+  /// Concurrent evaluation workers (the CLI's --jobs). Population searchers
+  /// (de, exhaustive, random) evaluate whole proposal batches across this
+  /// many std::jthread workers, each materializing its variant with its own
+  /// interpreter/evaluator; results commit in proposal order, so the
+  /// trajectory and best point are identical to the Jobs=1 run. When > 1,
+  /// InitHook must tolerate concurrent calls (one per in-flight variant).
+  int Jobs = 1;
+  /// Content-addressed evaluation cache: outcomes are keyed by the hash of
+  /// the *transformed* variant, so distinct points that materialize to the
+  /// same code (clamped tile sizes, no-op unroll factors) are evaluated
+  /// once. Never changes results — the simulator metric of a variant is
+  /// deterministic — only skips repeat simulation cost. Counters are
+  /// surfaced in SearchResult::CacheHits / CacheMisses / CacheDedupSaves.
+  bool UseEvalCache = true;
   /// Machine model and evaluation options.
   eval::EvalOptions Eval;
   /// Refuse transformations when dependences are unavailable.
@@ -64,8 +80,13 @@ struct OrchestratorOptions {
   /// repeat-offender points.
   search::GuardOptions Guard;
   /// Path of the crash-safe JSONL search journal; empty disables
-  /// journaling. Every fresh evaluation is appended and fsynced.
+  /// journaling. Every fresh evaluation is appended and pushed toward
+  /// stable storage per JournalSyncMode.
   std::string JournalPath;
+  /// Durability of each journal append (see search::JournalSync): Full
+  /// fsyncs per record (machine-crash safe, the default), Flush reaches the
+  /// kernel only, None leaves records buffered.
+  search::JournalSync JournalSyncMode = search::JournalSync::Full;
   /// When the journal file already exists, reload it and resume the
   /// interrupted search: journaled evaluations replay into the searcher's
   /// dedup/history state and count toward MaxEvaluations, so the run

@@ -1,0 +1,37 @@
+//===- EvalCache.cpp - Content-addressed evaluation cache -----------------===//
+
+#include "src/search/EvalCache.h"
+
+namespace locus {
+namespace search {
+
+std::optional<EvalOutcome> EvalCache::lookup(uint64_t VariantHash,
+                                             const std::string &PointKey) {
+  std::lock_guard<std::mutex> L(M);
+  auto It = Map.find(VariantHash);
+  if (It == Map.end()) {
+    ++Stats.Misses;
+    return std::nullopt;
+  }
+  ++Stats.Hits;
+  if (It->second.FirstPointKey != PointKey)
+    ++Stats.DedupSaves;
+  return It->second.Outcome;
+}
+
+void EvalCache::insert(uint64_t VariantHash, const std::string &PointKey,
+                       const EvalOutcome &Outcome) {
+  std::lock_guard<std::mutex> L(M);
+  auto [It, Inserted] = Map.try_emplace(VariantHash, Entry{Outcome, PointKey});
+  (void)It;
+  if (Inserted)
+    ++Stats.Entries;
+}
+
+EvalCacheStats EvalCache::stats() const {
+  std::lock_guard<std::mutex> L(M);
+  return Stats;
+}
+
+} // namespace search
+} // namespace locus

@@ -1,0 +1,75 @@
+//===- EvalCache.h - Content-addressed evaluation cache ---------*- C++ -*-===//
+///
+/// \file
+/// A thread-safe cache of evaluation outcomes keyed by the content hash of
+/// the *transformed* variant, not by the proposed point. Distinct points
+/// frequently materialize to the same variant — a tile size clamped to the
+/// loop extent, an unroll factor that degenerates to a no-op, an OR arm
+/// whose parameters are dead in the chosen branch — and the simulator metric
+/// of a given variant is deterministic, so evaluating the variant once and
+/// serving every later structurally-identical materialization from the
+/// cache changes nothing about the search trajectory while skipping the
+/// most expensive stage (compile + simulate). Point-level duplicate
+/// memoization falls out for free: a duplicate point hashes to the same
+/// variant by construction.
+///
+/// The cache stores the first point key evaluated for each variant hash, so
+/// hits can be classified as same-point duplicates vs. genuine cross-point
+/// dedup saves.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_EVALCACHE_H
+#define LOCUS_SEARCH_EVALCACHE_H
+
+#include "src/search/Search.h"
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace locus {
+namespace search {
+
+/// Observability counters for the cache (all monotonic).
+struct EvalCacheStats {
+  uint64_t Hits = 0;       ///< lookups served from the cache
+  uint64_t Misses = 0;     ///< lookups that had to evaluate
+  uint64_t DedupSaves = 0; ///< of Hits, those whose point key differed from
+                           ///< the point that populated the entry (distinct
+                           ///< points, same materialized variant)
+  uint64_t Entries = 0;    ///< variants currently cached
+};
+
+/// Thread-safe content-addressed outcome cache.
+class EvalCache {
+public:
+  /// Returns the cached outcome for a variant hash, or nullopt on a miss.
+  /// \p PointKey (the canonical key of the point being assessed) is used
+  /// only to classify a hit as a cross-point dedup save.
+  std::optional<EvalOutcome> lookup(uint64_t VariantHash,
+                                    const std::string &PointKey);
+
+  /// Records the outcome for a variant hash. The first writer wins; a
+  /// concurrent duplicate insert (two workers racing on the same variant)
+  /// is dropped, keeping served outcomes consistent.
+  void insert(uint64_t VariantHash, const std::string &PointKey,
+              const EvalOutcome &Outcome);
+
+  EvalCacheStats stats() const;
+
+private:
+  struct Entry {
+    EvalOutcome Outcome;
+    std::string FirstPointKey;
+  };
+  mutable std::mutex M;
+  std::unordered_map<uint64_t, Entry> Map;
+  EvalCacheStats Stats;
+};
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_EVALCACHE_H

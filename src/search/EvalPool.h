@@ -1,0 +1,72 @@
+//===- EvalPool.h - Worker pool for parallel point evaluation ---*- C++ -*-===//
+///
+/// \file
+/// A fixed-size std::jthread worker pool that evaluates batches of search
+/// points concurrently. Population searchers (DE generations, exhaustive /
+/// random sweeps) propose data-independent points; evaluating them serially
+/// leaves all but one core idle during the most expensive part of the search
+/// (variant materialization + simulation). The pool runs an index-parallel
+/// job over a batch; the caller commits results back in proposal order, so
+/// a seeded search trajectory is bit-identical to the serial run.
+///
+/// Every Objective evaluated through the pool with more than one worker must
+/// be safe to call concurrently (see Objective::concurrencySafe): each
+/// worker must build its own interpreter/evaluator state rather than
+/// mutating shared CIR.
+///
+//===----------------------------------------------------------------------===//
+#ifndef LOCUS_SEARCH_EVALPOOL_H
+#define LOCUS_SEARCH_EVALPOOL_H
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace locus {
+namespace search {
+
+/// Fixed-size worker pool running index-parallel jobs.
+class EvalPool {
+public:
+  /// Creates a pool with \p Jobs workers. Jobs <= 1 creates no threads;
+  /// run() then executes inline on the caller.
+  explicit EvalPool(int Jobs);
+  ~EvalPool();
+
+  EvalPool(const EvalPool &) = delete;
+  EvalPool &operator=(const EvalPool &) = delete;
+
+  /// Runs Fn(I) for every I in [0, N), distributing indices across the
+  /// workers (plus the calling thread), and blocks until all are done. Fn
+  /// must not throw. Reentrant calls from inside Fn are not supported.
+  void run(size_t N, const std::function<void(size_t)> &Fn);
+
+  /// Number of concurrent evaluations run() can sustain (>= 1).
+  int jobs() const { return JobCount; }
+
+private:
+  void workerLoop(std::stop_token Stop);
+
+  int JobCount = 1;
+
+  std::mutex M;
+  std::condition_variable_any WorkCv; ///< _any: waits against a stop_token
+  std::condition_variable DoneCv;
+  const std::function<void(size_t)> *Fn = nullptr; ///< current job, if any
+  size_t JobSize = 0;   ///< N of the current job
+  size_t NextIndex = 0; ///< next index to claim
+  size_t Remaining = 0; ///< indices not yet completed
+
+  /// Declared last: the jthreads stop-and-join in their destructor, which
+  /// must run while the mutex and condition variables above are still alive
+  /// (members destruct in reverse declaration order).
+  std::vector<std::jthread> Workers;
+};
+
+} // namespace search
+} // namespace locus
+
+#endif // LOCUS_SEARCH_EVALPOOL_H

@@ -7,23 +7,35 @@ namespace search {
 
 EvalOutcome GuardedObjective::assess(const Point &P) {
   std::string Key = P.key();
-  auto QIt = QuarantineReason.find(Key);
-  if (QIt != QuarantineReason.end()) {
-    ++Stats.QuarantineRejects;
-    return QIt->second;
+  {
+    std::lock_guard<std::mutex> L(M);
+    auto QIt = QuarantineReason.find(Key);
+    if (QIt != QuarantineReason.end()) {
+      ++Stats.QuarantineRejects;
+      return QIt->second;
+    }
   }
 
+  // The inner objective runs outside the lock: concurrent pool workers
+  // assess distinct points in parallel and only serialize on the guard's
+  // bookkeeping.
   EvalOutcome Out = Inner.assess(P);
   for (int Attempt = 0;
        Out.Failure == FailureKind::MetricUnstable &&
        Attempt < Opts.MaxUnstableRetries;
        ++Attempt) {
-    ++Stats.UnstableRetries;
+    {
+      std::lock_guard<std::mutex> L(M);
+      ++Stats.UnstableRetries;
+    }
     Out = Inner.assess(P);
-    if (Out.ok())
+    if (Out.ok()) {
+      std::lock_guard<std::mutex> L(M);
       ++Stats.UnstableRecovered;
+    }
   }
 
+  std::lock_guard<std::mutex> L(M);
   if (Out.ok()) {
     FailStreak.erase(Key);
     return Out;

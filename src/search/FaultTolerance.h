@@ -21,6 +21,7 @@
 #include "src/search/Search.h"
 
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
 
@@ -44,21 +45,32 @@ struct GuardStats {
   int QuarantineRejects = 0; ///< assessments served from quarantine
 };
 
+/// Guard state (streaks, quarantine, counters) is protected by an internal
+/// mutex, so the guard is safe under the evaluation pool's concurrent
+/// assessments as long as the inner objective is; the inner objective runs
+/// outside the lock. Concurrency-safety is forwarded from the inner
+/// objective, making the guard transparent to the pool.
 class GuardedObjective : public Objective {
 public:
   explicit GuardedObjective(Objective &Inner, GuardOptions Opts = {})
       : Inner(Inner), Opts(Opts) {}
 
   EvalOutcome assess(const Point &P) override;
+  bool concurrencySafe() const override { return Inner.concurrencySafe(); }
 
-  const GuardStats &stats() const { return Stats; }
+  GuardStats stats() const {
+    std::lock_guard<std::mutex> L(M);
+    return Stats;
+  }
   bool isQuarantined(const Point &P) const {
+    std::lock_guard<std::mutex> L(M);
     return Quarantined.count(P.key()) != 0;
   }
 
 private:
   Objective &Inner;
   GuardOptions Opts;
+  mutable std::mutex M; ///< guards every member below
   GuardStats Stats;
   /// Failure streak per point key; cleared on success.
   std::map<std::string, int> FailStreak;

@@ -145,13 +145,27 @@ bool parseJsonNumber(std::string_view Text, size_t &Pos, double &Out) {
 
 } // namespace
 
-Expected<SearchJournal> SearchJournal::open(const std::string &Path) {
+JournalSync parseJournalSync(std::string_view Name, bool &Ok) {
+  Ok = true;
+  if (Name == "none")
+    return JournalSync::None;
+  if (Name == "flush")
+    return JournalSync::Flush;
+  if (Name == "full")
+    return JournalSync::Full;
+  Ok = false;
+  return JournalSync::Full;
+}
+
+Expected<SearchJournal> SearchJournal::open(const std::string &Path,
+                                            JournalSync Sync) {
   std::FILE *F = std::fopen(Path.c_str(), "ab");
   if (!F)
     return Expected<SearchJournal>::error("cannot open journal for append: " +
                                           Path);
   SearchJournal J;
   J.Stream = F;
+  J.Sync = Sync;
   return J;
 }
 
@@ -163,19 +177,27 @@ void SearchJournal::close() {
 }
 
 Status SearchJournal::append(const EvalRecord &R) {
-  if (!Stream)
-    return Status::error("journal is not open");
   std::string Line = encodeLine(R);
   Line += '\n';
+  std::lock_guard<std::mutex> Lock(*AppendMutex);
+  if (!Stream)
+    return Status::error("journal is not open");
   if (std::fwrite(Line.data(), 1, Line.size(), Stream) != Line.size())
     return Status::error("short write to journal");
+  if (Sync == JournalSync::None)
+    return Status::success();
   if (std::fflush(Stream) != 0)
     return Status::error("cannot flush journal");
+  if (Sync == JournalSync::Full) {
 #if LOCUS_HAVE_FSYNC
-  // Crash safety: the record must hit stable storage before the search
-  // spends more budget on its successors.
-  fsync(fileno(Stream));
+    // Crash safety: fflush only moves the record into the kernel's page
+    // cache — a machine crash between flush and writeback can still tear
+    // the tail. fd-level fsync forces the record to stable storage before
+    // the search spends more budget on its successors.
+    if (fsync(fileno(Stream)) != 0)
+      return Status::error("cannot fsync journal");
 #endif
+  }
   return Status::success();
 }
 

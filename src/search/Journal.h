@@ -4,10 +4,12 @@
 /// An append-only JSONL journal of evaluation records. Long tuning runs die
 /// — machines reboot, jobs hit walltime, evaluators wedge — and without a
 /// journal every assessed variant is lost with them. Each fresh evaluation
-/// is appended as one JSON line and flushed (fflush + fsync) before the
-/// search continues, so at most the line being written when the process
-/// died is lost. SearchJournal::load tolerates exactly that: a torn final
-/// line is discarded; corruption anywhere else is an error.
+/// is appended as one JSON line and pushed toward stable storage per the
+/// configurable JournalSync policy (fflush + fd-level fsync by default), so
+/// at most the line being written when the process died is lost.
+/// SearchJournal::load tolerates exactly that: a torn final line (no
+/// terminating newline) is discarded and the resume continues from the
+/// intact prefix; corruption anywhere else is an error.
 ///
 /// Line schema (one EvalRecord):
 ///   {"point":"<serialized point>","metric":<double>,
@@ -24,23 +26,42 @@
 #include "src/support/Error.h"
 
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 namespace locus {
 namespace search {
 
+/// How far append() pushes each record toward stable storage before
+/// returning. Durability and throughput trade off: Full survives a machine
+/// crash (power loss, kernel panic) at one fsync per record; Flush survives
+/// a process crash (the libc buffer reaches the kernel, writeback is
+/// asynchronous); None leaves records in the stdio buffer until it fills.
+enum class JournalSync : uint8_t {
+  None,  ///< buffered writes only (fastest; testing / throwaway runs)
+  Flush, ///< fflush to the kernel per record (process-crash safe)
+  Full,  ///< fflush + fsync per record (machine-crash safe; the default)
+};
+
+/// Parses a sync-mode name ("none", "flush", "full"); sets Ok=false (and
+/// returns Full) on unknown names.
+JournalSync parseJournalSync(std::string_view Name, bool &Ok);
+
 class SearchJournal {
 public:
   SearchJournal() = default;
   ~SearchJournal() { close(); }
-  SearchJournal(SearchJournal &&Other) noexcept : Stream(Other.Stream) {
+  SearchJournal(SearchJournal &&Other) noexcept
+      : Stream(Other.Stream), Sync(Other.Sync) {
     Other.Stream = nullptr;
   }
   SearchJournal &operator=(SearchJournal &&Other) noexcept {
     if (this != &Other) {
       close();
       Stream = Other.Stream;
+      Sync = Other.Sync;
       Other.Stream = nullptr;
     }
     return *this;
@@ -49,9 +70,14 @@ public:
   SearchJournal &operator=(const SearchJournal &) = delete;
 
   /// Opens \p Path for appending, creating it when absent.
-  static Expected<SearchJournal> open(const std::string &Path);
+  static Expected<SearchJournal> open(const std::string &Path,
+                                      JournalSync Sync = JournalSync::Full);
 
-  /// Appends one record as a JSON line and forces it to stable storage.
+  /// Appends one record as a JSON line and pushes it toward stable storage
+  /// per the configured JournalSync. Internally serialized: concurrent
+  /// callers append whole lines in call order (the search loop commits
+  /// batch results in proposal order, so journal order equals trajectory
+  /// order even with a parallel evaluation pool).
   Status append(const EvalRecord &R);
 
   bool isOpen() const { return Stream != nullptr; }
@@ -79,6 +105,9 @@ public:
 
 private:
   std::FILE *Stream = nullptr;
+  JournalSync Sync = JournalSync::Full;
+  /// Serializes append(); shared_ptr keeps the journal movable.
+  std::shared_ptr<std::mutex> AppendMutex = std::make_shared<std::mutex>();
 };
 
 } // namespace search

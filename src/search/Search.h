@@ -90,6 +90,13 @@ public:
   virtual ~Objective() = default;
   virtual EvalOutcome assess(const Point &P) = 0;
 
+  /// True when assess() may be called concurrently from multiple threads.
+  /// The evaluation pool dispatches proposal batches in parallel only when
+  /// the objective opts in (SearchOptions::Jobs > 1 alone is not enough);
+  /// a concurrency-safe objective must build per-call interpreter/evaluator
+  /// state instead of mutating anything shared.
+  virtual bool concurrencySafe() const { return false; }
+
   /// Legacy adapter: metric plus a validity flag (failure kinds erased).
   double evaluate(const Point &P, bool &Valid) {
     EvalOutcome O = assess(P);
@@ -98,24 +105,39 @@ public:
   }
 };
 
+/// Base class for objectives that support batched, concurrent assessment:
+/// deriving from BatchObjective asserts that assess() is reentrant, so the
+/// search loop may hand a whole proposal batch (a DE generation, the next
+/// stretch of an exhaustive sweep) to the evaluation pool at once.
+class BatchObjective : public Objective {
+public:
+  bool concurrencySafe() const override { return true; }
+};
+
 /// Convenience adapter over a lambda, in either the outcome-returning or the
 /// legacy (metric, Valid&) form; the latter maps Valid=false to InvalidPoint.
+/// Pass ThreadSafe=true when the lambda tolerates concurrent calls (required
+/// for the pool to parallelize under SearchOptions::Jobs > 1).
 class LambdaObjective : public Objective {
 public:
   using Fn = std::function<double(const Point &, bool &)>;
   using OutcomeFn = std::function<EvalOutcome(const Point &)>;
-  explicit LambdaObjective(OutcomeFn F) : F(std::move(F)) {}
-  explicit LambdaObjective(Fn Legacy)
+  explicit LambdaObjective(OutcomeFn F, bool ThreadSafe = false)
+      : F(std::move(F)), ThreadSafe(ThreadSafe) {}
+  explicit LambdaObjective(Fn Legacy, bool ThreadSafe = false)
       : F([G = std::move(Legacy)](const Point &P) {
           bool Valid = false;
           double Metric = G(P, Valid);
           return Valid ? EvalOutcome::success(Metric)
                        : EvalOutcome::fail(FailureKind::InvalidPoint);
-        }) {}
+        }),
+        ThreadSafe(ThreadSafe) {}
   EvalOutcome assess(const Point &P) override { return F(P); }
+  bool concurrencySafe() const override { return ThreadSafe; }
 
 private:
   OutcomeFn F;
+  bool ThreadSafe = false;
 };
 
 struct EvalRecord {
@@ -146,8 +168,16 @@ struct SearchOptions {
   /// nullopt when the point must be evaluated. Pruned points count in
   /// SearchResult::PrunedStatic and otherwise flow through the searcher
   /// exactly like an evaluated failure, so the trajectory (and the best
-  /// point found) is unchanged.
+  /// point found) is unchanged. Always invoked on the search thread, in
+  /// proposal order (the oracle need not be thread-safe).
   std::function<std::optional<EvalOutcome>(const Point &)> StaticFilter;
+
+  /// Number of concurrent evaluation workers. Proposal batches are
+  /// dispatched across Jobs std::jthread workers when the objective reports
+  /// concurrencySafe(); results are committed back in proposal order, so a
+  /// seeded trajectory is bit-identical to the Jobs=1 run (batch widths are
+  /// fixed per searcher, independent of Jobs). 1 evaluates inline.
+  int Jobs = 1;
 };
 
 struct SearchResult {
@@ -160,10 +190,30 @@ struct SearchResult {
   int DuplicatesSkipped = 0;   ///< proposals identical to evaluated variants
   int PrunedStatic = 0;        ///< of InvalidPoints, proven by StaticFilter
                                ///< without invoking the objective
+  /// Duplicate proposals served a memoized outcome instead of being
+  /// re-assessed (the canonical counter; DuplicatesSkipped mirrors it for
+  /// backward compatibility). Variant-level dedup across *distinct* points
+  /// is counted separately in CacheDedupSaves.
+  int DuplicateHits = 0;
   /// Per-kind failure counts, indexed by FailureKind; the entries other
   /// than None sum to InvalidPoints.
   std::array<int, NumFailureKinds> FailureCounts{};
   std::vector<EvalRecord> History;
+
+  // Evaluation-pool observability (filled by the search loop).
+  int PoolJobs = 1;  ///< concurrent evaluation workers used
+  int Batches = 0;   ///< proposal batches dispatched to the pool
+  int MaxBatch = 0;  ///< largest number of points assessed concurrently
+  int PooledEvaluations = 0; ///< objective assessments dispatched through
+                             ///< batches of size > 1 (worker utilization =
+                             ///< PooledEvaluations / Evaluations)
+
+  // Content-addressed evaluation-cache counters (filled by the driver when
+  // the cache is enabled; see search::EvalCache).
+  uint64_t CacheHits = 0;
+  uint64_t CacheMisses = 0;
+  uint64_t CacheDedupSaves = 0; ///< distinct points that materialized to an
+                                ///< already-evaluated variant
 
   int failures(FailureKind K) const {
     return FailureCounts[static_cast<size_t>(K)];

@@ -2,6 +2,8 @@
 
 #include "src/search/Search.h"
 
+#include "src/search/EvalPool.h"
+
 #include <algorithm>
 #include <cmath>
 #include <map>
@@ -159,78 +161,175 @@ Point samplePoint(const Space &S, Rng &R) {
 namespace {
 
 //===----------------------------------------------------------------------===//
-// Shared evaluation driver with deduplication
+// Shared evaluation driver: deduplication, replay, static pruning, and the
+// parallel evaluation pool
 //===----------------------------------------------------------------------===//
+
+/// Fixed speculative batch width for searchers whose proposal stream does
+/// not depend on pending outcomes (exhaustive, random, and DE inside one
+/// generation). Deliberately independent of SearchOptions::Jobs: the batch
+/// boundaries (and therefore the stale/budget bookkeeping) must not move
+/// with the worker count, or trajectories would differ between Jobs
+/// settings. The pool simply splits whatever batch it is handed across its
+/// workers.
+constexpr size_t SpeculativeBatch = 8;
+
+/// Per-point result of a batch evaluation, in proposal order.
+struct BatchItem {
+  double Metric = std::numeric_limits<double>::infinity();
+  bool Valid = false;
+  /// A (fresh, replayed, or pruned) evaluation happened for this proposal;
+  /// false for duplicates served from the memo and for proposals dropped at
+  /// the budget boundary.
+  bool Fresh = false;
+  /// The proposal produced a usable outcome (evaluated or served from the
+  /// memo); false only for budget-dropped tail entries.
+  bool Assessed = false;
+};
 
 class EvalDriver {
 public:
   EvalDriver(Objective &Obj, const SearchOptions &Opts, SearchResult &Result)
-      : Obj(Obj), Opts(Opts), Result(Result) {
+      : Obj(Obj), Opts(Opts), Result(Result),
+        Pool(Obj.concurrencySafe() ? Opts.Jobs : 1) {
     for (const EvalRecord &R : Opts.Replay)
       ReplayCache.emplace(R.P.key(), R);
+    Result.PoolJobs = Pool.jobs();
   }
 
   bool budgetLeft() const { return Result.Evaluations < Opts.MaxEvaluations; }
 
-  /// Evaluates a point unless it was already assessed; returns true when a
-  /// (fresh or replayed) evaluation happened. Metric/Valid describe the
-  /// outcome either way. A point with a journal-replayed record consumes the
-  /// cached outcome without calling the objective, so a resumed search walks
-  /// the interrupted run's exact trajectory.
-  bool evaluate(const Point &P, double &Metric, bool &Valid) {
-    std::string Key = P.key();
-    auto It = Seen.find(Key);
-    if (It != Seen.end()) {
-      ++Result.DuplicatesSkipped;
-      Metric = It->second.first;
-      Valid = It->second.second;
-      return false;
-    }
-    EvalOutcome Out;
-    auto RIt = ReplayCache.find(Key);
-    bool Replayed = RIt != ReplayCache.end();
-    if (Replayed) {
-      Out.Metric = RIt->second.Metric;
-      Out.Failure = RIt->second.Failure;
-      Out.Detail = RIt->second.Detail;
-      ReplayCache.erase(RIt);
-      ++Result.ReplayedEvaluations;
-    } else if (Opts.StaticFilter) {
-      // Statically provable failures skip materialization/evaluation but
-      // count and record exactly like an evaluated failure.
-      if (std::optional<EvalOutcome> Pruned = Opts.StaticFilter(P)) {
-        Out = std::move(*Pruned);
-        ++Result.PrunedStatic;
-      } else {
-        Out = Obj.assess(P);
+  /// Evaluates a batch of proposals. Duplicates (of earlier evaluations or
+  /// of earlier entries in the same batch) are served from the memo;
+  /// journal-replayed and statically-pruned points consume their cached /
+  /// proven outcome; everything else is dispatched to the objective — in
+  /// parallel across the pool's workers when it has more than one. Results
+  /// are committed back in proposal order, so the searcher (and the
+  /// journal) observe exactly the serial trajectory. Proposals past the
+  /// evaluation budget are dropped (Assessed = false).
+  std::vector<BatchItem> evaluateBatch(const std::vector<Point> &Batch) {
+    enum class Kind : uint8_t { Dup, Replay, Pruned, Pending, Dropped };
+    struct Slot {
+      std::string Key;
+      Kind K = Kind::Dropped;
+      EvalOutcome Out;
+    };
+    std::vector<Slot> Slots(Batch.size());
+    std::vector<size_t> Pending;
+    std::set<std::string> BatchKeys;
+    int BudgetUsed = 0;
+
+    // Classification pass, in proposal order on the search thread (replay
+    // consumption and StaticFilter calls keep their serial order).
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Slot &S = Slots[I];
+      S.Key = Batch[I].key();
+      if (Seen.count(S.Key) || BatchKeys.count(S.Key)) {
+        S.K = Kind::Dup;
+        continue;
       }
-    } else {
-      Out = Obj.assess(P);
+      if (Result.Evaluations + BudgetUsed >= Opts.MaxEvaluations) {
+        S.K = Kind::Dropped;
+        continue;
+      }
+      ++BudgetUsed;
+      BatchKeys.insert(S.Key);
+      auto RIt = ReplayCache.find(S.Key);
+      if (RIt != ReplayCache.end()) {
+        S.K = Kind::Replay;
+        S.Out.Metric = RIt->second.Metric;
+        S.Out.Failure = RIt->second.Failure;
+        S.Out.Detail = RIt->second.Detail;
+        ReplayCache.erase(RIt);
+        continue;
+      }
+      if (Opts.StaticFilter) {
+        if (std::optional<EvalOutcome> Pruned = Opts.StaticFilter(Batch[I])) {
+          S.K = Kind::Pruned;
+          S.Out = std::move(*Pruned);
+          continue;
+        }
+      }
+      S.K = Kind::Pending;
+      Pending.push_back(I);
     }
-    ++Result.Evaluations;
-    Valid = Out.ok();
-    Metric = Valid ? Out.Metric : std::numeric_limits<double>::infinity();
-    Seen[Key] = {Metric, Valid};
-    if (!Valid) {
-      ++Result.InvalidPoints;
-      ++Result.FailureCounts[static_cast<size_t>(Out.Failure)];
+
+    // Concurrent assessment of the fresh points.
+    if (!Pending.empty()) {
+      ++Result.Batches;
+      Result.MaxBatch = std::max(Result.MaxBatch, static_cast<int>(Pending.size()));
+      if (Pending.size() > 1 && Pool.jobs() > 1)
+        Result.PooledEvaluations += static_cast<int>(Pending.size());
+      Pool.run(Pending.size(), [&](size_t J) {
+        Slots[Pending[J]].Out = Obj.assess(Batch[Pending[J]]);
+      });
     }
-    EvalRecord Rec;
-    Rec.P = P;
-    Rec.Metric = Metric;
-    Rec.Valid = Valid;
-    Rec.Failure = Out.Failure;
-    Rec.Detail = std::move(Out.Detail);
-    Result.History.push_back(std::move(Rec));
-    if (!Replayed && Opts.OnFreshEval)
-      Opts.OnFreshEval(Result.History.back());
-    if (Valid && Metric < Result.BestMetric) {
-      Result.BestMetric = Metric;
-      Result.Best = P;
-      Result.Found = true;
-      Improved = true;
+
+    // Commit pass, in proposal order.
+    std::vector<BatchItem> Items(Batch.size());
+    for (size_t I = 0; I < Batch.size(); ++I) {
+      Slot &S = Slots[I];
+      BatchItem &Item = Items[I];
+      switch (S.K) {
+      case Kind::Dup: {
+        const auto &Memo = Seen.at(S.Key);
+        ++Result.DuplicatesSkipped;
+        ++Result.DuplicateHits;
+        Item.Metric = Memo.first;
+        Item.Valid = Memo.second;
+        Item.Assessed = true;
+        break;
+      }
+      case Kind::Dropped:
+        break;
+      case Kind::Replay:
+      case Kind::Pruned:
+      case Kind::Pending: {
+        bool Replayed = S.K == Kind::Replay;
+        if (Replayed)
+          ++Result.ReplayedEvaluations;
+        if (S.K == Kind::Pruned)
+          ++Result.PrunedStatic;
+        ++Result.Evaluations;
+        Item.Valid = S.Out.ok();
+        Item.Metric = Item.Valid ? S.Out.Metric
+                                 : std::numeric_limits<double>::infinity();
+        Item.Fresh = true;
+        Item.Assessed = true;
+        Seen[S.Key] = {Item.Metric, Item.Valid};
+        if (!Item.Valid) {
+          ++Result.InvalidPoints;
+          ++Result.FailureCounts[static_cast<size_t>(S.Out.Failure)];
+        }
+        EvalRecord Rec;
+        Rec.P = Batch[I];
+        Rec.Metric = Item.Metric;
+        Rec.Valid = Item.Valid;
+        Rec.Failure = S.Out.Failure;
+        Rec.Detail = std::move(S.Out.Detail);
+        Result.History.push_back(std::move(Rec));
+        if (!Replayed && Opts.OnFreshEval)
+          Opts.OnFreshEval(Result.History.back());
+        if (Item.Valid && Item.Metric < Result.BestMetric) {
+          Result.BestMetric = Item.Metric;
+          Result.Best = Batch[I];
+          Result.Found = true;
+          Improved = true;
+        }
+        break;
+      }
+      }
     }
-    return true;
+    return Items;
+  }
+
+  /// Single-point convenience wrapper (the sequential searchers' path);
+  /// returns true when a (fresh, replayed, or pruned) evaluation happened.
+  bool evaluate(const Point &P, double &Metric, bool &Valid) {
+    std::vector<BatchItem> Items = evaluateBatch({P});
+    Metric = Items[0].Metric;
+    Valid = Items[0].Valid;
+    return Items[0].Fresh;
   }
 
   bool takeImproved() {
@@ -243,6 +342,7 @@ private:
   Objective &Obj;
   const SearchOptions &Opts;
   SearchResult &Result;
+  EvalPool Pool;
   std::map<std::string, std::pair<double, bool>> Seen;
   std::map<std::string, EvalRecord> ReplayCache;
   bool Improved = false;
@@ -313,25 +413,28 @@ public:
     for (const ParamDef &P : S.Params)
       ValueLists.push_back(enumerateValues(P));
 
+    // Enumeration is outcome-independent, so the next stretch of the sweep
+    // is proposed as one batch and evaluated concurrently.
     std::vector<size_t> Odometer(S.Params.size(), 0);
-    while (Driver.budgetLeft()) {
-      Point P;
-      for (size_t I = 0; I < S.Params.size(); ++I)
-        P.Values[S.Params[I].Id] = ValueLists[I][Odometer[I]];
-      double Metric;
-      bool Valid;
-      Driver.evaluate(P, Metric, Valid);
-      // Advance the odometer.
-      size_t I = 0;
-      for (; I < Odometer.size(); ++I) {
-        if (++Odometer[I] < ValueLists[I].size())
-          break;
-        Odometer[I] = 0;
+    bool Done = false;
+    while (Driver.budgetLeft() && !Done) {
+      std::vector<Point> Batch;
+      while (Batch.size() < SpeculativeBatch && !Done) {
+        Point P;
+        for (size_t I = 0; I < S.Params.size(); ++I)
+          P.Values[S.Params[I].Id] = ValueLists[I][Odometer[I]];
+        Batch.push_back(std::move(P));
+        // Advance the odometer.
+        size_t I = 0;
+        for (; I < Odometer.size(); ++I) {
+          if (++Odometer[I] < ValueLists[I].size())
+            break;
+          Odometer[I] = 0;
+        }
+        if (I == Odometer.size() || Odometer.empty())
+          Done = true; // wrapped: the whole space is enumerated
       }
-      if (I == Odometer.size())
-        break; // wrapped: the whole space is enumerated
-      if (Odometer.empty())
-        break;
+      Driver.evaluateBatch(Batch);
     }
     return Result;
   }
@@ -350,14 +453,20 @@ public:
     SearchResult Result;
     EvalDriver Driver(Obj, Opts, Result);
     Rng R(Opts.Seed);
+    // Sampling is outcome-independent: draw the next stretch up front and
+    // evaluate it as one concurrent batch. The Rng consumption order equals
+    // the serial one, so the sampled stream is unchanged.
     int Stale = 0;
     while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
-      double Metric;
-      bool Valid;
-      if (Driver.evaluate(samplePoint(S, R), Metric, Valid))
-        Stale = 0;
-      else
-        ++Stale;
+      std::vector<Point> Batch;
+      for (size_t I = 0; I < SpeculativeBatch; ++I)
+        Batch.push_back(samplePoint(S, R));
+      for (const BatchItem &Item : Driver.evaluateBatch(Batch)) {
+        if (Item.Fresh)
+          Stale = 0;
+        else if (Item.Assessed)
+          ++Stale;
+      }
     }
     return Result;
   }
@@ -420,37 +529,48 @@ public:
     EvalDriver Driver(Obj, Opts, Result);
     Rng R(Opts.Seed);
 
+    // The initial population is one outcome-independent batch.
     const size_t PopSize = 10;
+    std::vector<Point> Init;
+    for (size_t I = 0; I < PopSize; ++I)
+      Init.push_back(samplePoint(S, R));
+    std::vector<BatchItem> InitItems = Driver.evaluateBatch(Init);
     std::vector<Point> Pop;
     std::vector<double> Fitness;
-    for (size_t I = 0; I < PopSize && Driver.budgetLeft(); ++I) {
-      Point P = samplePoint(S, R);
-      double Metric;
-      bool Valid;
-      Driver.evaluate(P, Metric, Valid);
-      Pop.push_back(std::move(P));
-      Fitness.push_back(Valid ? Metric
-                              : std::numeric_limits<double>::infinity());
+    for (size_t I = 0; I < Init.size(); ++I) {
+      if (!InitItems[I].Assessed)
+        break; // budget boundary
+      Pop.push_back(std::move(Init[I]));
+      Fitness.push_back(InitItems[I].Valid
+                            ? InitItems[I].Metric
+                            : std::numeric_limits<double>::infinity());
     }
     if (Pop.size() < 4)
       return Result;
 
+    // Generational DE: every generation's trials are combined from a
+    // snapshot of the population, so the whole generation is proposal-
+    // independent and evaluates as one concurrent batch; selection commits
+    // afterwards, member by member, in order.
     int Stale = 0;
     while (Driver.budgetLeft() && Stale < Opts.MaxEvaluations * 4) {
-      for (size_t I = 0; I < Pop.size() && Driver.budgetLeft(); ++I) {
+      std::vector<Point> Trials;
+      for (size_t I = 0; I < Pop.size(); ++I) {
         size_t A = R.index(Pop.size()), B = R.index(Pop.size()),
                C = R.index(Pop.size());
-        Point Trial = combine(S, Pop[I], Pop[A], Pop[B], Pop[C], R);
-        double Metric;
-        bool Valid;
-        bool Fresh = Driver.evaluate(Trial, Metric, Valid);
-        if (!Fresh)
-          ++Stale;
-        else
+        Trials.push_back(combine(S, Pop[I], Pop[A], Pop[B], Pop[C], R));
+      }
+      std::vector<BatchItem> Items = Driver.evaluateBatch(Trials);
+      for (size_t I = 0; I < Trials.size(); ++I) {
+        if (!Items[I].Assessed)
+          break; // budget boundary
+        if (Items[I].Fresh)
           Stale = 0;
-        if (Valid && Metric < Fitness[I]) {
-          Pop[I] = std::move(Trial);
-          Fitness[I] = Metric;
+        else
+          ++Stale;
+        if (Items[I].Valid && Items[I].Metric < Fitness[I]) {
+          Pop[I] = std::move(Trials[I]);
+          Fitness[I] = Items[I].Metric;
         }
       }
     }

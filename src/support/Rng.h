@@ -45,11 +45,33 @@ public:
     return Result;
   }
 
+  /// Uniform integer in [0, Span). Lemire's multiply-and-shift with
+  /// rejection: `next() % Span` is biased toward small values (by up to
+  /// Span/2^64 per value, which is material for large spans), so the raw
+  /// draw is rejected while it falls in the unrepresentative low fringe.
+  uint64_t bounded(uint64_t Span) {
+    assert(Span > 0 && "bounded() with empty span");
+    unsigned __int128 M = static_cast<unsigned __int128>(next()) * Span;
+    uint64_t Lo = static_cast<uint64_t>(M);
+    if (Lo < Span) {
+      uint64_t Threshold = (0 - Span) % Span;
+      while (Lo < Threshold) {
+        M = static_cast<unsigned __int128>(next()) * Span;
+        Lo = static_cast<uint64_t>(M);
+      }
+    }
+    return static_cast<uint64_t>(M >> 64);
+  }
+
   /// Uniform integer in [Lo, Hi] inclusive.
   int64_t range(int64_t Lo, int64_t Hi) {
     assert(Lo <= Hi && "empty range");
-    uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
-    return Lo + static_cast<int64_t>(next() % Span);
+    // Unsigned arithmetic: Hi - Lo overflows int64 for huge ranges (and the
+    // offset below can exceed INT64_MAX), but wraps to the right value here.
+    uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    if (Span == 0) // the full 2^64 range: every raw draw is uniform
+      return static_cast<int64_t>(next());
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) + bounded(Span));
   }
 
   /// Uniform double in [0, 1).
@@ -69,7 +91,7 @@ public:
   /// Uniform index into a container of the given size.
   size_t index(size_t Size) {
     assert(Size > 0 && "index() into empty container");
-    return static_cast<size_t>(next() % Size);
+    return static_cast<size_t>(bounded(Size));
   }
 
   /// Fisher-Yates shuffle.

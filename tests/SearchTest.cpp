@@ -119,7 +119,11 @@ TEST_P(SearcherQuality, FindsGoodPointWithinBudget) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllSearchers, SearcherQuality,
-    ::testing::Values(NamedSearcherCase{"random", 3.0},
+    // Random's bound is loose: ~2% of the 576 points score <= 3, so a
+    // 120-sample uniform run misses that set for some seed streams (the
+    // bias-free bounded sampler draws a different stream than the old
+    // modulo reduction did).
+    ::testing::Values(NamedSearcherCase{"random", 4.0},
                       NamedSearcherCase{"hillclimb", 1.0},
                       NamedSearcherCase{"de", 2.0},
                       NamedSearcherCase{"bandit", 1.0},
