@@ -23,7 +23,22 @@
 //   --export-direct FILE  write the pinned direct Locus program (Section II)
 //   --export-point FILE   write the best point in serialized form
 //   --native              additionally time the best variant with the system
-//                         C compiler (the paper's buildcmd/runcmd path)
+//                         C compiler (the paper's buildcmd/runcmd path); the
+//                         compile and run happen in the subprocess sandbox
+//                         (argv exec, watchdog, rlimits, hermetic workdir)
+//                         and the native checksum is validated against the
+//                         simulator within --checksum-rtol
+//   --native-metric       measure every searched variant natively instead of
+//                         on the simulator (falls back to the simulator with
+//                         a warning when no compiler is available)
+//   --native-timeout SECS ceiling on each sandboxed native run (default 10);
+//                         the per-variant deadline derived from the baseline
+//                         native time never exceeds it
+//   --keep-workdirs       keep each native evaluation's mkdtemp directory
+//                         (sources, binary) instead of removing it
+//   --checksum-rtol X     relative tolerance for checksum validation, both
+//                         variant-vs-baseline and native-vs-simulator
+//                         (default 1e-6)
 //   --journal FILE        append every assessed variant to FILE (crash-safe
 //                         JSONL journal, fsynced per record)
 //   --journal-sync MODE   durability per appended record: full (fsync, the
@@ -53,9 +68,11 @@
 #include "src/locus/LocusParser.h"
 #include "src/locus/LocusPrinter.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <set>
 #include <sstream>
 
@@ -85,7 +102,9 @@ int usage(const char *Argv0) {
                "       [--search NAME] [--budget N] [--seed N] [--jobs N]\n"
                "       [--machine xeon|tiny] [--cores N]\n"
                "       [--emit-c FILE] [--export-direct FILE]\n"
-               "       [--export-point FILE] [--native]\n"
+               "       [--export-point FILE] [--native] [--native-metric]\n"
+               "       [--native-timeout SECS] [--keep-workdirs]\n"
+               "       [--checksum-rtol X]\n"
                "       [--journal FILE] [--journal-sync none|flush|full]\n"
                "       [--resume] [--no-eval-cache]\n"
                "       [--lint] [--verify-each] [--no-static-prune]\n",
@@ -193,6 +212,27 @@ int main(int argc, char **argv) {
       Direct = true;
     } else if (Arg == "--native") {
       Native = true;
+    } else if (Arg == "--native-metric") {
+      Opts.NativeMetric = true;
+    } else if (Arg == "--native-timeout") {
+      if (const char *V = Next()) {
+        Opts.Native.RunTimeoutSeconds = std::atof(V);
+        if (Opts.Native.RunTimeoutSeconds <= 0) {
+          std::fprintf(stderr, "--native-timeout wants a positive number of "
+                               "seconds\n");
+          return usage(argv[0]);
+        }
+      }
+    } else if (Arg == "--keep-workdirs") {
+      Opts.Native.KeepWorkDir = true;
+    } else if (Arg == "--checksum-rtol") {
+      if (const char *V = Next()) {
+        Opts.ChecksumRtol = std::atof(V);
+        if (Opts.ChecksumRtol <= 0) {
+          std::fprintf(stderr, "--checksum-rtol wants a positive tolerance\n");
+          return usage(argv[0]);
+        }
+      }
     } else if (Arg == "--lint") {
       Lint = true;
     } else if (Arg == "--verify-each") {
@@ -289,11 +329,24 @@ int main(int argc, char **argv) {
   if (Lint)
     return runLint(**Prog, **Baseline);
 
+  // Degrade gracefully on compiler-less hosts: native measurement is an
+  // upgrade, not a requirement, so fall back to the simulator with a clear
+  // diagnostic instead of failing the whole run.
+  if (Opts.NativeMetric &&
+      !eval::nativeCompilerAvailable(Opts.Native.Compiler)) {
+    std::fprintf(stderr,
+                 "warning: --native-metric: compiler '%s' is not available; "
+                 "falling back to the simulator metric\n",
+                 Opts.Native.Compiler.c_str());
+    Opts.NativeMetric = false;
+  }
+
   driver::Orchestrator Orch(**Prog, **Baseline, Opts);
 
   std::unique_ptr<cir::Program> Best;
   search::Point BestPoint;
   double BestCycles = 0;
+  double BestChecksum = std::numeric_limits<double>::quiet_NaN();
 
   if (Direct || !PointPath.empty()) {
     Expected<driver::DirectResult> R = [&] {
@@ -324,6 +377,7 @@ int main(int argc, char **argv) {
       std::printf("  %s\n", Line.c_str());
     Best = std::move(R->Variant);
     BestCycles = R->Run.Cycles;
+    BestChecksum = R->Run.Checksum;
   } else {
     auto R = Orch.runSearch();
     if (!R.ok()) {
@@ -363,12 +417,19 @@ int main(int argc, char **argv) {
                   "quarantined (%d rejects)\n",
                   R->Guard.UnstableRetries, R->Guard.UnstableRecovered,
                   R->Guard.QuarantinedPoints, R->Guard.QuarantineRejects);
-    std::printf("baseline %.0f cycles -> best %.0f cycles, speedup %.2fx%s\n",
-                R->BaselineCycles, R->BestCycles, R->Speedup,
-                R->BaselineChosen ? " (baseline kept)" : "");
+    if (Opts.NativeMetric)
+      std::printf("baseline %.6f s -> best %.6f s, speedup %.2fx%s\n",
+                  R->BaselineCycles, R->BestCycles, R->Speedup,
+                  R->BaselineChosen ? " (baseline kept)" : "");
+    else
+      std::printf("baseline %.0f cycles -> best %.0f cycles, speedup %.2fx%s\n",
+                  R->BaselineCycles, R->BestCycles, R->Speedup,
+                  R->BaselineChosen ? " (baseline kept)" : "");
     Best = std::move(R->BestProgram);
     BestPoint = R->Search.Best;
     BestCycles = R->BestCycles;
+    if (R->BestRun.Ok)
+      BestChecksum = R->BestRun.Checksum;
 
     if (!ExportPoint.empty() && !R->BaselineChosen)
       if (!writeFile(ExportPoint, driver::serializePoint(BestPoint)))
@@ -395,12 +456,32 @@ int main(int argc, char **argv) {
       std::printf("C source written to %s\n", EmitC.c_str());
   }
   if (Native && Best) {
-    eval::NativeResult NR = eval::evaluateNative(*Best);
-    if (NR.Ok)
+    eval::NativeResult NR = eval::evaluateNative(*Best, Opts.Native);
+    if (NR.Ok) {
       std::printf("native run: %.6f s (checksum %.6f)\n", NR.Seconds,
                   NR.Checksum);
-    else
-      std::fprintf(stderr, "native run failed: %s\n", NR.Error.c_str());
+      // Native-vs-simulator validation: the emitted harness initializes
+      // arrays exactly like the simulator, so the checksums must agree
+      // within --checksum-rtol; a mismatch means the unparsed variant does
+      // not compute what the simulated one did.
+      if (!std::isnan(BestChecksum)) {
+        double Tol = Opts.ChecksumRtol * std::max(1.0, std::abs(BestChecksum));
+        if (std::abs(NR.Checksum - BestChecksum) > Tol) {
+          std::fprintf(stderr,
+                       "native checksum %.9f disagrees with the simulator's "
+                       "%.9f (rtol %g)\n",
+                       NR.Checksum, BestChecksum, Opts.ChecksumRtol);
+          return 1;
+        }
+        std::printf("native checksum matches the simulator (rtol %g)\n",
+                    Opts.ChecksumRtol);
+      }
+    } else {
+      std::fprintf(stderr, "native run failed (%s): %s\n",
+                   search::failureKindName(NR.Failure), NR.Error.c_str());
+    }
+    if (!NR.WorkDir.empty())
+      std::printf("native workdir kept: %s\n", NR.WorkDir.c_str());
   }
   return 0;
 }

@@ -110,10 +110,12 @@ public:
                    const lang::ModuleRegistry &Registry,
                    const cir::Program &Baseline,
                    const OrchestratorOptions &Opts, double BaselineChecksum,
-                   uint64_t DeadlineIterations, search::EvalCache *Cache)
+                   uint64_t DeadlineIterations, double NativeTimeoutSeconds,
+                   search::EvalCache *Cache)
       : LProg(LProg), Registry(Registry), Baseline(Baseline), Opts(Opts),
         BaselineChecksum(BaselineChecksum),
-        DeadlineIterations(DeadlineIterations), Cache(Cache) {}
+        DeadlineIterations(DeadlineIterations),
+        NativeTimeoutSeconds(NativeTimeoutSeconds), Cache(Cache) {}
 
   search::EvalOutcome assess(const search::Point &P) override {
     using search::EvalOutcome;
@@ -157,6 +159,8 @@ private:
   search::EvalOutcome evaluateVariant(const cir::Program &Variant) const {
     using search::EvalOutcome;
     using search::FailureKind;
+    if (Opts.NativeMetric)
+      return evaluateVariantNative(Variant);
     // Deadline guard: a variant that runs vastly longer than the baseline
     // cannot win the non-prescriptive selection anyway; cut it off instead
     // of running to the evaluator's global runaway budget.
@@ -186,7 +190,7 @@ private:
     // the search cannot exploit broken code. Skipped when the baseline is a
     // non-executable skeleton (NaN reference).
     if (!std::isnan(BaselineChecksum)) {
-      double Tol = 1e-6 * std::max(1.0, std::abs(BaselineChecksum));
+      double Tol = Opts.ChecksumRtol * std::max(1.0, std::abs(BaselineChecksum));
       if (std::isnan(Run.Checksum) ||
           std::abs(Run.Checksum - BaselineChecksum) > Tol)
         return EvalOutcome::fail(FailureKind::ChecksumMismatch,
@@ -197,12 +201,41 @@ private:
     return EvalOutcome::success(Run.Cycles);
   }
 
+  /// The paper's buildcmd/runcmd loop, sandboxed: unparse, compile and run
+  /// the variant in its own mkdtemp workdir with deadline + rlimit caps.
+  /// Thread-safe by construction (no shared mutable state), so the pool may
+  /// run several sandboxed measurements concurrently.
+  search::EvalOutcome evaluateVariantNative(const cir::Program &Variant) const {
+    using search::EvalOutcome;
+    using search::FailureKind;
+    eval::NativeOptions NOpts = Opts.Native;
+    if (NativeTimeoutSeconds > 0)
+      NOpts.RunTimeoutSeconds = NativeTimeoutSeconds;
+    eval::NativeResult NR = eval::evaluateNative(Variant, NOpts);
+    if (!NR.Ok)
+      return eval::toEvalOutcome(NR);
+    if (!std::isnan(BaselineChecksum)) {
+      double Tol = Opts.ChecksumRtol * std::max(1.0, std::abs(BaselineChecksum));
+      if (std::isnan(NR.Checksum) ||
+          std::abs(NR.Checksum - BaselineChecksum) > Tol)
+        return EvalOutcome::fail(FailureKind::ChecksumMismatch,
+                                 "native checksum " +
+                                     std::to_string(NR.Checksum) +
+                                     " vs baseline " +
+                                     std::to_string(BaselineChecksum));
+    }
+    return EvalOutcome::success(NR.Seconds);
+  }
+
   const lang::LocusProgram &LProg;
   const lang::ModuleRegistry &Registry;
   const cir::Program &Baseline;
   const OrchestratorOptions &Opts;
   double BaselineChecksum;
   uint64_t DeadlineIterations;
+  /// Per-run wall-clock deadline under NativeMetric (derived from the
+  /// baseline's native time); 0 keeps the configured default.
+  double NativeTimeoutSeconds;
   search::EvalCache *Cache;
 };
 
@@ -263,7 +296,35 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   Expected<eval::RunResult> BaseRun = evaluateBaseline();
   bool BaselineRunnable = BaseRun.ok();
   double BaselineChecksum = std::numeric_limits<double>::quiet_NaN();
-  if (BaselineRunnable) {
+  double NativeTimeoutSeconds = 0;
+  if (Opts.NativeMetric) {
+    // Native measurement: the baseline is compiled and run in the sandbox;
+    // its wall-clock time is the reference metric, its checksum the
+    // correctness reference, and VariantDeadlineFactor times its duration
+    // the per-variant deadline (capped by the configured --native-timeout).
+    if (!eval::nativeCompilerAvailable(Opts.Native.Compiler))
+      return Expected<SearchWorkflowResult>::error(
+          "native metric requested but compiler '" + Opts.Native.Compiler +
+          "' is not available on this host; rerun without --native-metric "
+          "to use the simulator");
+    eval::NativeResult NBase = eval::evaluateNative(Baseline, Opts.Native);
+    if (!NBase.Ok)
+      return Expected<SearchWorkflowResult>::error(
+          "native baseline evaluation failed (" +
+          std::string(search::failureKindName(NBase.Failure)) +
+          "): " + NBase.Error);
+    BaselineRunnable = true;
+    Result.BaselineCycles = NBase.Seconds;
+    BaselineChecksum = NBase.Checksum;
+    NativeTimeoutSeconds = Opts.Native.RunTimeoutSeconds;
+    if (Opts.VariantDeadlineFactor > 0) {
+      double Derived =
+          std::max(0.1, Opts.VariantDeadlineFactor * NBase.Seconds);
+      NativeTimeoutSeconds = NativeTimeoutSeconds > 0
+                                 ? std::min(NativeTimeoutSeconds, Derived)
+                                 : Derived;
+    }
+  } else if (BaselineRunnable) {
     Result.BaselineCycles = BaseRun->Cycles;
     BaselineChecksum = BaseRun->Checksum;
   } else {
@@ -272,8 +333,8 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
 
   // Per-variant deadline derived from the baseline run (guard 1).
   uint64_t DeadlineIterations = 0;
-  if (BaselineRunnable && Opts.VariantDeadlineFactor > 0 &&
-      BaseRun->LoopIterations > 0) {
+  if (!Opts.NativeMetric && BaselineRunnable && BaseRun.ok() &&
+      Opts.VariantDeadlineFactor > 0 && BaseRun->LoopIterations > 0) {
     double Budget = Opts.VariantDeadlineFactor *
                     static_cast<double>(BaseRun->LoopIterations);
     DeadlineIterations = Budget >= static_cast<double>(UINT64_MAX)
@@ -289,7 +350,8 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
                                                  Opts.SearcherName);
   search::EvalCache Cache;
   VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum,
-                       DeadlineIterations, Opts.UseEvalCache ? &Cache : nullptr);
+                       DeadlineIterations, NativeTimeoutSeconds,
+                       Opts.UseEvalCache ? &Cache : nullptr);
   // Guards 2+3: bounded retry of unstable metrics, quarantine of repeat
   // offenders.
   search::GuardedObjective Guarded(Obj, Opts.Guard);
@@ -368,7 +430,8 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
     Result.BaselineChosen = true;
     Result.BestProgram = Baseline.clone();
     Result.BestCycles = Result.BaselineCycles;
-    Result.BestRun = *BaseRun;
+    if (BaseRun.ok()) // under NativeMetric the simulator run may be absent
+      Result.BestRun = *BaseRun;
     Result.Speedup = 1.0;
     return Result;
   }
@@ -379,7 +442,10 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
         "re-materializing the best variant failed: " + Best.message());
   Result.BestProgram = std::move(Best->Variant);
   Result.BestRun = Best->Run;
-  Result.BestCycles = Best->Run.Cycles;
+  // Under NativeMetric the winning metric is the measured native seconds;
+  // the re-materialized simulator run above only provides the variant/IR.
+  Result.BestCycles =
+      Opts.NativeMetric ? Result.Search.BestMetric : Best->Run.Cycles;
   Result.Speedup = Result.BaselineCycles / Result.BestCycles;
   return Result;
 }

@@ -18,6 +18,7 @@
 
 #include "src/cir/Ast.h"
 #include "src/eval/Evaluator.h"
+#include "src/eval/NativeEvaluator.h"
 #include "src/locus/Interpreter.h"
 #include "src/locus/LocusAst.h"
 #include "src/locus/Optimizer.h"
@@ -74,8 +75,25 @@ struct OrchestratorOptions {
   /// Per-variant deadline: abort a variant (BudgetExceeded) once it runs
   /// more than this factor times the baseline's loop iterations, instead of
   /// letting a pathological variant burn the global iteration budget. 0
-  /// disables; ignored when the baseline is not executable.
+  /// disables; ignored when the baseline is not executable. Under
+  /// NativeMetric the same factor applies to the baseline's native
+  /// wall-clock time instead, bounding each sandboxed run.
   double VariantDeadlineFactor = 8.0;
+  /// Measure every variant by compiling and running it natively in the
+  /// subprocess sandbox (the paper's buildcmd/runcmd loop) instead of on
+  /// the simulator. Fails up front with a clear diagnostic when the host
+  /// has no usable compiler; callers wanting a fallback rerun with this
+  /// off. The native objective is concurrency-safe (hermetic per-run
+  /// workdirs), so --jobs N drives concurrent sandboxed measurements.
+  bool NativeMetric = false;
+  /// Compiler, flags and sandbox limits for native measurement (both
+  /// NativeMetric and the CLI's post-search --native timing).
+  /// Native.RunTimeoutSeconds acts as the ceiling on the derived
+  /// per-variant deadline (the CLI's --native-timeout).
+  eval::NativeOptions Native;
+  /// Relative tolerance for checksum validation of a variant against the
+  /// baseline reference (simulator or native); the CLI's --checksum-rtol.
+  double ChecksumRtol = 1e-6;
   /// Guard policy: bounded retries for unstable metrics and quarantining of
   /// repeat-offender points.
   search::GuardOptions Guard;

@@ -5,7 +5,10 @@
 #include "src/cir/AstUtils.h"
 #include "src/cir/Printer.h"
 #include "src/support/Hashing.h"
+#include "src/support/StringUtils.h"
 
+#include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
@@ -175,69 +178,223 @@ std::string emitNativeC(const Program &OrigP) {
 }
 
 bool nativeCompilerAvailable(const std::string &Compiler) {
-  std::string Cmd = "command -v " + Compiler + " >/dev/null 2>&1";
-  return std::system(Cmd.c_str()) == 0;
+  support::SubprocessOptions SOpts;
+  SOpts.Argv = {Compiler, "--version"};
+  SOpts.Limits.WallClockSeconds = 10;
+  SOpts.Limits.MaxCaptureBytes = 4096;
+  return runSubprocess(SOpts).ok();
+}
+
+namespace {
+
+/// First non-empty line of captured stderr, for compact diagnostics; the
+/// full text stays in NativeResult::Error when short enough.
+std::string summarizeStderr(const std::string &Err) {
+  std::string_view Text = trimString(Err);
+  if (Text.empty())
+    return "";
+  if (Text.size() <= 512)
+    return std::string(Text);
+  return std::string(Text.substr(0, 512)) + " ...";
+}
+
+/// Strict full-token double parse via std::from_chars.
+bool parseDoubleToken(std::string_view Token, double &Out) {
+  Token = trimString(Token);
+  if (Token.empty())
+    return false;
+  const char *First = Token.data();
+  const char *Last = Token.data() + Token.size();
+  auto [Ptr, Ec] = std::from_chars(First, Last, Out);
+  return Ec == std::errc() && Ptr == Last;
+}
+
+} // namespace
+
+Status parseNativeOutput(std::string_view Output, double &Seconds,
+                         double &Checksum) {
+  bool HaveTime = false, HaveSum = false;
+  for (std::string_view Line : splitString(Output, '\n')) {
+    Line = trimString(Line);
+    if (Line.empty())
+      continue;
+    constexpr std::string_view TimeTag = "LOCUS_TIME ";
+    constexpr std::string_view SumTag = "LOCUS_CHECKSUM ";
+    if (startsWith(Line, TimeTag)) {
+      if (HaveTime)
+        return Status::error("duplicate LOCUS_TIME line");
+      if (!parseDoubleToken(Line.substr(TimeTag.size()), Seconds))
+        return Status::error("unparseable LOCUS_TIME value: '" +
+                             std::string(Line) + "'");
+      HaveTime = true;
+    } else if (startsWith(Line, SumTag)) {
+      if (HaveSum)
+        return Status::error("duplicate LOCUS_CHECKSUM line");
+      if (!parseDoubleToken(Line.substr(SumTag.size()), Checksum))
+        return Status::error("unparseable LOCUS_CHECKSUM value: '" +
+                             std::string(Line) + "'");
+      HaveSum = true;
+    } else {
+      return Status::error("unexpected output line: '" + std::string(Line) +
+                           "'");
+    }
+  }
+  if (!HaveTime || !HaveSum)
+    return Status::error(std::string("missing ") +
+                         (HaveTime ? "LOCUS_CHECKSUM" : "LOCUS_TIME") +
+                         " line");
+  if (!std::isfinite(Seconds) || Seconds < 0)
+    return Status::error("non-finite or negative LOCUS_TIME");
+  if (!std::isfinite(Checksum))
+    return Status::error("non-finite LOCUS_CHECKSUM");
+  return Status::success();
+}
+
+NativeResult classifyNativeRun(const support::SubprocessResult &R) {
+  using search::FailureKind;
+  NativeResult N;
+  switch (R.Exit) {
+  case support::SpawnExit::SpawnFailed:
+    N.Failure = FailureKind::PrepareFailed;
+    N.Error = "cannot execute variant: " + R.SpawnError;
+    return N;
+  case support::SpawnExit::TimedOut:
+    N.Failure = FailureKind::BudgetExceeded;
+    N.Error = "native run " + R.describe();
+    return N;
+  case support::SpawnExit::Signaled:
+    N.Failure = FailureKind::RuntimeTrap;
+    N.Error = "variant killed by " + support::signalName(R.Signal);
+    if (std::string S = summarizeStderr(R.Stderr); !S.empty())
+      N.Error += ": " + S;
+    return N;
+  case support::SpawnExit::Exited:
+    break;
+  }
+  if (R.ExitCode != 0) {
+    N.Failure = FailureKind::RuntimeTrap;
+    N.Error = "variant exited with status " + std::to_string(R.ExitCode);
+    if (std::string S = summarizeStderr(R.Stderr); !S.empty())
+      N.Error += ": " + S;
+    return N;
+  }
+  if (R.StdoutTruncated) {
+    N.Failure = FailureKind::MetricUnstable;
+    N.Error = "variant output exceeded the capture cap";
+    return N;
+  }
+  double Secs = 0, Sum = 0;
+  if (Status S = parseNativeOutput(R.Stdout, Secs, Sum); !S.ok()) {
+    N.Failure = FailureKind::MetricUnstable;
+    N.Error = "malformed run output: " + S.message();
+    return N;
+  }
+  N.Ok = true;
+  N.Seconds = Secs;
+  N.Checksum = Sum;
+  return N;
+}
+
+search::EvalOutcome toEvalOutcome(const NativeResult &R) {
+  return R.Ok ? search::EvalOutcome::success(R.Seconds)
+              : search::EvalOutcome::fail(R.Failure, R.Error);
 }
 
 NativeResult evaluateNative(const Program &P, const NativeOptions &Opts) {
+  using search::FailureKind;
   NativeResult R;
-  if (!nativeCompilerAvailable(Opts.Compiler)) {
-    R.Error = "compiler not available: " + Opts.Compiler;
+  std::string Source = emitNativeC(P);
+
+  support::TempDir Work("locus-native-", Opts.WorkDir);
+  if (!Work.valid()) {
+    R.Failure = FailureKind::PrepareFailed;
+    R.Error = "cannot create working directory under " +
+              (Opts.WorkDir.empty() ? std::string("$TMPDIR") : Opts.WorkDir);
     return R;
   }
-  std::string Source = emitNativeC(P);
-  uint64_t Tag = fnv1a(Source);
-  std::string Base = Opts.WorkDir + "/locus_native_" + std::to_string(Tag);
-  std::string CFile = Base + ".c";
-  std::string Bin = Base + ".bin";
-  std::string Log = Base + ".out";
+  // Every return path below goes through this finalizer.
+  auto Finish = [&](NativeResult N) {
+    if (Opts.KeepWorkDir)
+      N.WorkDir = Work.release();
+    return N;
+  };
+
+  std::string CFile = Work.path() + "/variant.c";
+  std::string Bin = Work.path() + "/variant.bin";
   {
     FILE *F = std::fopen(CFile.c_str(), "w");
     if (!F) {
+      R.Failure = FailureKind::PrepareFailed;
       R.Error = "cannot write " + CFile;
-      return R;
+      return Finish(R);
     }
     std::fputs(Source.c_str(), F);
     std::fclose(F);
   }
-  std::string Build = Opts.Compiler;
+
+  // Compile phase: argv invocation, deadline, captured stderr. No RLIMIT_AS
+  // here — compilers legitimately map large address spaces.
+  support::SubprocessOptions Build;
+  Build.Argv.push_back(Opts.Compiler);
   for (const std::string &Flag : Opts.Flags)
-    Build += " " + Flag;
-  Build += " -o " + Bin + " " + CFile + " 2> " + Log;
-  if (std::system(Build.c_str()) != 0) {
-    R.Error = "build failed: " + Build;
-    return R;
+    Build.Argv.push_back(Flag);
+  Build.Argv.insert(Build.Argv.end(), {"-o", Bin, CFile});
+  Build.WorkDir = Work.path();
+  Build.Limits.WallClockSeconds = Opts.CompileTimeoutSeconds;
+  Build.Limits.MaxCaptureBytes = Opts.MaxCaptureBytes;
+  support::SubprocessResult BuildRes = runSubprocess(Build);
+  if (!BuildRes.ok()) {
+    if (BuildRes.Exit == support::SpawnExit::SpawnFailed &&
+        !nativeCompilerAvailable(Opts.Compiler))
+      R.Error = "compiler not available: " + Opts.Compiler;
+    else {
+      R.Error = "native build failed (" + BuildRes.describe() + ")";
+      if (std::string S = summarizeStderr(BuildRes.Stderr); !S.empty())
+        R.Error += ": " + S;
+    }
+    R.Failure = BuildRes.Exit == support::SpawnExit::TimedOut
+                    ? FailureKind::BudgetExceeded
+                    : FailureKind::PrepareFailed;
+    return Finish(R);
   }
 
-  double BestSecs = 0;
+  // Run phase: deadline + rlimits; minimum time over repeats; the checksum
+  // must reproduce across repeats or the measurement is unstable.
+  double BestSecs = 0, FirstSum = 0;
   for (int Rep = 0; Rep < std::max(1, Opts.Repeats); ++Rep) {
-    std::string Run = Bin + " > " + Log + " 2>&1";
-    if (std::system(Run.c_str()) != 0) {
-      R.Error = "run failed";
-      return R;
+    support::SubprocessOptions Run;
+    Run.Argv = {Bin};
+    Run.WorkDir = Work.path();
+    Run.Limits.WallClockSeconds = Opts.RunTimeoutSeconds;
+    Run.Limits.MaxCaptureBytes = Opts.MaxCaptureBytes;
+    if (Opts.RunTimeoutSeconds > 0)
+      Run.Limits.CpuSeconds =
+          static_cast<long>(Opts.RunTimeoutSeconds) + 1;
+    Run.Limits.AddressSpaceBytes = Opts.MemoryLimitBytes;
+    Run.Limits.FileSizeBytes = 1L << 26; // a variant has no business writing
+    NativeResult Attempt = classifyNativeRun(runSubprocess(Run));
+    if (!Attempt.Ok)
+      return Finish(Attempt);
+    if (Rep == 0) {
+      FirstSum = Attempt.Checksum;
+    } else {
+      double Tol = 1e-9 * std::max(1.0, std::abs(FirstSum));
+      if (std::abs(Attempt.Checksum - FirstSum) > Tol) {
+        R.Failure = FailureKind::MetricUnstable;
+        R.Error = "checksum varies across repeats: " +
+                  std::to_string(FirstSum) + " vs " +
+                  std::to_string(Attempt.Checksum);
+        return Finish(R);
+      }
     }
-    FILE *F = std::fopen(Log.c_str(), "r");
-    if (!F) {
-      R.Error = "cannot read run output";
-      return R;
-    }
-    double Secs = 0, Sum = 0;
-    if (std::fscanf(F, "LOCUS_TIME %lf\nLOCUS_CHECKSUM %lf", &Secs, &Sum) != 2) {
-      std::fclose(F);
-      R.Error = "malformed run output";
-      return R;
-    }
-    std::fclose(F);
-    if (Rep == 0 || Secs < BestSecs)
-      BestSecs = Secs;
-    R.Checksum = Sum;
+    if (Rep == 0 || Attempt.Seconds < BestSecs)
+      BestSecs = Attempt.Seconds;
   }
   R.Ok = true;
+  R.Failure = FailureKind::None;
   R.Seconds = BestSecs;
-  std::remove(CFile.c_str());
-  std::remove(Bin.c_str());
-  std::remove(Log.c_str());
-  return R;
+  R.Checksum = FirstSum;
+  return Finish(R);
 }
 
 } // namespace eval

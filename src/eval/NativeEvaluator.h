@@ -1,4 +1,4 @@
-//===- NativeEvaluator.h - Compile-and-run evaluation -----------*- C++ -*-===//
+//===- NativeEvaluator.h - Sandboxed compile-and-run evaluation -*- C++ -*-===//
 ///
 /// \file
 /// The paper's actual evaluation loop: unparse the variant to C, build it
@@ -7,6 +7,18 @@
 /// arrays with the same deterministic patterns as the simulator, times the
 /// program body, and prints a checksum so native results can be validated
 /// against the machine-model evaluator.
+///
+/// Every compile and every run happens inside support::Subprocess — argv
+/// invocation (no shell), a wall-clock watchdog with SIGTERM -> SIGKILL
+/// escalation, rlimit caps, and process-group cleanup — in a hermetic
+/// mkdtemp working directory that is removed on every exit path (kept on
+/// request for debugging). Failures are classified into the search layer's
+/// FailureKind taxonomy: compile failure -> PrepareFailed, crash signal ->
+/// RuntimeTrap (with the signal named), deadline -> BudgetExceeded, garbage
+/// or non-reproducible output -> MetricUnstable. That makes native
+/// measurement a first-class citizen of the fault-tolerant search loop: a
+/// hanging or fork-bombing variant costs its deadline and one counter
+/// increment, never the autotuning run.
 ///
 /// The simulator remains the default metric (deterministic, portable); this
 /// evaluator exists for hosts with a C compiler where real measurements are
@@ -17,7 +29,9 @@
 #define LOCUS_EVAL_NATIVEEVALUATOR_H
 
 #include "src/cir/Ast.h"
+#include "src/search/Search.h"
 #include "src/support/Error.h"
+#include "src/support/Subprocess.h"
 
 #include <string>
 #include <vector>
@@ -28,17 +42,40 @@ namespace eval {
 struct NativeOptions {
   std::string Compiler = "cc";
   std::vector<std::string> Flags = {"-O2"};
-  /// Directory for generated sources and binaries.
-  std::string WorkDir = "/tmp";
+  /// Base directory under which each evaluation creates its own mkdtemp
+  /// working directory (never a shared fixed path); empty means $TMPDIR or
+  /// /tmp. The unique directory is removed when the evaluation finishes
+  /// unless KeepWorkDir is set.
+  std::string WorkDir = "";
   /// Timing repetitions; the minimum is reported.
   int Repeats = 3;
+  /// Wall-clock deadline for the compiler invocation.
+  double CompileTimeoutSeconds = 60.0;
+  /// Wall-clock deadline per run of the variant binary; <= 0 disables.
+  /// The orchestrator derives this from the baseline's native time the same
+  /// way simulator variants get iteration deadlines.
+  double RunTimeoutSeconds = 10.0;
+  /// RLIMIT_AS for the variant binary (not the compiler); <= 0 disables.
+  long MemoryLimitBytes = 1L << 31; // 2 GiB
+  /// Per-stream stdout/stderr capture cap for both phases.
+  size_t MaxCaptureBytes = 1 << 16;
+  /// Keep the working directory (sources, binary, outputs) on disk and
+  /// report it in NativeResult::WorkDir — the CLI's --keep-workdirs.
+  bool KeepWorkDir = false;
 };
 
 struct NativeResult {
   bool Ok = false;
+  /// Human-readable failure description; for compile failures it carries
+  /// the captured compiler stderr.
   std::string Error;
+  /// Classification of the failure in the search taxonomy; None when Ok.
+  search::FailureKind Failure = search::FailureKind::None;
   double Seconds = 0;
   double Checksum = 0;
+  /// Path of the retained working directory when KeepWorkDir was set
+  /// (empty otherwise — the directory is already gone).
+  std::string WorkDir;
 };
 
 /// Emits a self-contained compilable C file for \p P: includes, min/max
@@ -46,10 +83,31 @@ struct NativeResult {
 /// checksum print.
 std::string emitNativeC(const cir::Program &P);
 
-/// True when \p Compiler can be invoked on this host.
+/// True when \p Compiler can be invoked on this host (probed with a
+/// sandboxed `--version` run, not a shell).
 bool nativeCompilerAvailable(const std::string &Compiler);
 
-/// Builds and runs \p P natively.
+/// Strictly parses the harness's "LOCUS_TIME x / LOCUS_CHECKSUM y" stdout
+/// with std::from_chars. Any unexpected line, missing field, trailing
+/// garbage after a number, or non-finite/negative time is an error — a
+/// variant that prints garbage must classify as MetricUnstable, never as a
+/// silently wrong metric.
+Status parseNativeOutput(std::string_view Output, double &Seconds,
+                         double &Checksum);
+
+/// Classifies one finished run-phase subprocess into a NativeResult:
+/// deadline -> BudgetExceeded, terminating signal -> RuntimeTrap (signal
+/// named in the detail), nonzero exit -> RuntimeTrap, unparseable stdout ->
+/// MetricUnstable, clean exit + valid output -> Ok. Exposed so the
+/// fault-injection tests can drive real crashing/hanging binaries through
+/// the exact classification path the evaluator uses.
+NativeResult classifyNativeRun(const support::SubprocessResult &R);
+
+/// Maps a NativeResult onto the search-layer outcome (success(Seconds) or
+/// fail(Failure, Error)).
+search::EvalOutcome toEvalOutcome(const NativeResult &R);
+
+/// Builds and runs \p P natively inside the sandbox.
 NativeResult evaluateNative(const cir::Program &P,
                             const NativeOptions &Opts = NativeOptions());
 

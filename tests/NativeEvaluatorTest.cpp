@@ -8,8 +8,31 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <sys/stat.h>
+
 namespace locus {
 namespace {
+
+bool pathExists(const std::string &Path) {
+  struct stat St;
+  return stat(Path.c_str(), &St) == 0;
+}
+
+/// Counts entries (excluding . and ..) in a directory.
+int dirEntryCount(const std::string &Path) {
+  DIR *D = opendir(Path.c_str());
+  if (!D)
+    return -1;
+  int N = 0;
+  while (dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name != "." && Name != "..")
+      ++N;
+  }
+  closedir(D);
+  return N;
+}
 
 TEST(NativeEvaluator, EmitsCompilableC) {
   auto P = cir::parseProgram(workloads::dgemmSource(16, 16, 16));
@@ -59,6 +82,158 @@ TEST(NativeEvaluator, TransformedVariantMatchesBaselineNatively) {
   ASSERT_TRUE(Tiled.Ok) << Tiled.Error;
   EXPECT_NEAR(Base.Checksum, Tiled.Checksum,
               1e-6 * std::max(1.0, std::abs(Base.Checksum)));
+}
+
+//===----------------------------------------------------------------------===//
+// Strict harness-output parsing (no compiler needed)
+//===----------------------------------------------------------------------===//
+
+TEST(NativeParse, AcceptsCanonicalOutput) {
+  double Secs = 0, Sum = 0;
+  Status S = eval::parseNativeOutput(
+      "LOCUS_TIME 0.001234567\nLOCUS_CHECKSUM 42.500000000\n", Secs, Sum);
+  ASSERT_TRUE(S.ok()) << S.message();
+  EXPECT_DOUBLE_EQ(Secs, 0.001234567);
+  EXPECT_DOUBLE_EQ(Sum, 42.5);
+}
+
+TEST(NativeParse, AcceptsScientificAndNegativeChecksum) {
+  double Secs = 0, Sum = 0;
+  ASSERT_TRUE(
+      eval::parseNativeOutput("LOCUS_TIME 1.5e-4\nLOCUS_CHECKSUM -3.25\n",
+                              Secs, Sum)
+          .ok());
+  EXPECT_DOUBLE_EQ(Secs, 1.5e-4);
+  EXPECT_DOUBLE_EQ(Sum, -3.25);
+}
+
+TEST(NativeParse, RejectsGarbage) {
+  double Secs = 0, Sum = 0;
+  // Anything a crashing or chatty variant might print must be rejected so
+  // it classifies as MetricUnstable, never as a silently wrong metric.
+  const char *Bad[] = {
+      "",                                                   // empty
+      "segmentation fault (not really): 0xdeadbeef\n",      // garbage
+      "LOCUS_TIME 0.5\n",                                   // missing field
+      "LOCUS_CHECKSUM 1.0\n",                               // missing field
+      "LOCUS_TIME 0.5\nLOCUS_CHECKSUM 1.0\nextra line\n",   // trailing junk
+      "noise\nLOCUS_TIME 0.5\nLOCUS_CHECKSUM 1.0\n",        // leading junk
+      "LOCUS_TIME 0.5\nLOCUS_TIME 0.6\nLOCUS_CHECKSUM 1\n", // duplicate
+      "LOCUS_TIME 0.5abc\nLOCUS_CHECKSUM 1.0\n",            // partial token
+      "LOCUS_TIME abc\nLOCUS_CHECKSUM 1.0\n",               // non-numeric
+      "LOCUS_TIME -0.5\nLOCUS_CHECKSUM 1.0\n",              // negative time
+      "LOCUS_TIME inf\nLOCUS_CHECKSUM 1.0\n",               // non-finite
+      "LOCUS_TIME nan\nLOCUS_CHECKSUM 1.0\n",               // non-finite
+      "LOCUS_TIME 0.5\nLOCUS_CHECKSUM nan\n",               // non-finite sum
+      "LOCUS_TIME\nLOCUS_CHECKSUM 1.0\n",                   // missing value
+  };
+  for (const char *Output : Bad)
+    EXPECT_FALSE(eval::parseNativeOutput(Output, Secs, Sum).ok())
+        << "accepted: " << Output;
+}
+
+TEST(NativeParse, MissingCompilerIsDetected) {
+  EXPECT_FALSE(
+      eval::nativeCompilerAvailable("definitely-not-a-compiler-zzz"));
+}
+
+//===----------------------------------------------------------------------===//
+// Sandboxed native evaluation (gated on a system compiler)
+//===----------------------------------------------------------------------===//
+
+TEST(NativeSandbox, HermeticWorkdirsAreCleanedUp) {
+  if (!eval::nativeCompilerAvailable("cc"))
+    GTEST_SKIP() << "no system C compiler";
+  auto P = cir::parseProgram(workloads::dgemmSource(12, 12, 12));
+  ASSERT_TRUE(P.ok());
+
+  support::TempDir Base("locus-native-test-");
+  ASSERT_TRUE(Base.valid());
+  eval::NativeOptions Opts;
+  Opts.WorkDir = Base.path();
+  Opts.Repeats = 1;
+  eval::NativeResult R = eval::evaluateNative(**P, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_TRUE(R.WorkDir.empty());
+  // Every per-evaluation mkdtemp directory under the base is gone.
+  EXPECT_EQ(dirEntryCount(Base.path()), 0);
+}
+
+TEST(NativeSandbox, KeepWorkDirRetainsSources) {
+  if (!eval::nativeCompilerAvailable("cc"))
+    GTEST_SKIP() << "no system C compiler";
+  auto P = cir::parseProgram(workloads::dgemmSource(12, 12, 12));
+  ASSERT_TRUE(P.ok());
+
+  support::TempDir Base("locus-native-test-");
+  ASSERT_TRUE(Base.valid());
+  eval::NativeOptions Opts;
+  Opts.WorkDir = Base.path();
+  Opts.Repeats = 1;
+  Opts.KeepWorkDir = true;
+  eval::NativeResult R = eval::evaluateNative(**P, Opts);
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_FALSE(R.WorkDir.empty());
+  EXPECT_TRUE(pathExists(R.WorkDir + "/variant.c"));
+  // Base's destructor removes the retained tree with the rest.
+}
+
+TEST(NativeSandbox, CompileFailureCapturesCompilerStderr) {
+  if (!eval::nativeCompilerAvailable("cc"))
+    GTEST_SKIP() << "no system C compiler";
+  auto P = cir::parseProgram(workloads::dgemmSource(8, 8, 8));
+  ASSERT_TRUE(P.ok());
+
+  support::TempDir Base("locus-native-test-");
+  ASSERT_TRUE(Base.valid());
+  eval::NativeOptions Opts;
+  Opts.WorkDir = Base.path();
+  Opts.Flags = {"-O2", "-fthis-flag-does-not-exist"};
+  eval::NativeResult R = eval::evaluateNative(**P, Opts);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Failure, search::FailureKind::PrepareFailed);
+  EXPECT_NE(R.Error.find("fthis-flag-does-not-exist"), std::string::npos)
+      << R.Error;
+  // The failed evaluation's workdir is cleaned up too.
+  EXPECT_EQ(dirEntryCount(Base.path()), 0);
+}
+
+TEST(NativeSandbox, RunDeadlineClassifiesBudgetExceeded) {
+  if (!eval::nativeCompilerAvailable("cc"))
+    GTEST_SKIP() << "no system C compiler";
+  // An unoptimized large dgemm cannot finish in 10ms: the sandbox watchdog
+  // must kill it and the evaluator must classify the loss as BudgetExceeded.
+  auto P = cir::parseProgram(workloads::dgemmSource(400, 400, 400));
+  ASSERT_TRUE(P.ok());
+
+  support::TempDir Base("locus-native-test-");
+  ASSERT_TRUE(Base.valid());
+  eval::NativeOptions Opts;
+  Opts.WorkDir = Base.path();
+  Opts.Flags = {"-O0"};
+  Opts.Repeats = 1;
+  Opts.RunTimeoutSeconds = 0.01;
+  eval::NativeResult R = eval::evaluateNative(**P, Opts);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Failure, search::FailureKind::BudgetExceeded) << R.Error;
+  EXPECT_EQ(dirEntryCount(Base.path()), 0);
+}
+
+TEST(NativeSandbox, OutcomeMapping) {
+  eval::NativeResult Ok;
+  Ok.Ok = true;
+  Ok.Seconds = 0.5;
+  search::EvalOutcome O = eval::toEvalOutcome(Ok);
+  EXPECT_TRUE(O.ok());
+  EXPECT_DOUBLE_EQ(O.Metric, 0.5);
+
+  eval::NativeResult Bad;
+  Bad.Failure = search::FailureKind::RuntimeTrap;
+  Bad.Error = "variant killed by SIGSEGV";
+  O = eval::toEvalOutcome(Bad);
+  EXPECT_FALSE(O.ok());
+  EXPECT_EQ(O.Failure, search::FailureKind::RuntimeTrap);
+  EXPECT_EQ(O.Detail, "variant killed by SIGSEGV");
 }
 
 } // namespace

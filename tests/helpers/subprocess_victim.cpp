@@ -1,0 +1,161 @@
+//===- subprocess_victim.cpp - Misbehaving binary for sandbox tests -----------===//
+//
+// A tiny standalone binary whose first argument selects a failure mode. The
+// Subprocess and fault-injection tests run it instead of compiling victims
+// at test time, so the suites need no compiler and exercise real processes:
+//
+//   exit N            exit with status N
+//   sleep SECS        sleep, then exit 0
+//   hang SECS         ignore SIGTERM and sleep (tests SIGKILL escalation)
+//   segv              dereference null
+//   abrt              abort()
+//   spin SECS         burn CPU (tests RLIMIT_CPU -> SIGXCPU)
+//   fwrite PATH       write 64 MiB to PATH (tests RLIMIT_FSIZE -> SIGXFSZ)
+//   oom MBYTES        touch MBYTES of heap (tests RLIMIT_AS)
+//   spew BYTES        write BYTES of 'x' to stdout (tests capture caps)
+//   garbage           print a non-harness line (tests strict output parsing)
+//   metric SECS SUM   print a valid harness report
+//   orphan SECS       fork a child that sleeps SECS, print "CHILD <pid>",
+//                     then hang with SIGTERM ignored (tests group kill)
+//
+// Built without sanitizers (it crashes on purpose and must respect
+// RLIMIT_AS) and located by the tests through LOCUS_SUBPROCESS_VICTIM.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#include <unistd.h>
+
+namespace {
+
+void sleepSeconds(double Secs) {
+  timespec Ts;
+  Ts.tv_sec = static_cast<time_t>(Secs);
+  Ts.tv_nsec = static_cast<long>((Secs - static_cast<double>(Ts.tv_sec)) * 1e9);
+  while (nanosleep(&Ts, &Ts) != 0 && errno == EINTR) {
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return 99;
+  const char *Mode = argv[1];
+  double Num = argc > 2 ? std::atof(argv[2]) : 0;
+
+  if (std::strcmp(Mode, "exit") == 0)
+    return static_cast<int>(Num);
+
+  if (std::strcmp(Mode, "sleep") == 0) {
+    sleepSeconds(Num);
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "hang") == 0) {
+    std::signal(SIGTERM, SIG_IGN);
+    sleepSeconds(Num > 0 ? Num : 3600);
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "segv") == 0) {
+    volatile int *P = nullptr;
+    *P = 42; // NOLINT: the crash is the point
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "abrt") == 0)
+    std::abort();
+
+  if (std::strcmp(Mode, "spin") == 0) {
+    timespec Start, Now;
+    clock_gettime(CLOCK_MONOTONIC, &Start);
+    volatile unsigned long long X = 1;
+    for (;;) {
+      for (int I = 0; I < 1000000; ++I)
+        X = X * 2862933555777941757ULL + 3037000493ULL;
+      clock_gettime(CLOCK_MONOTONIC, &Now);
+      if (Num > 0 && static_cast<double>(Now.tv_sec - Start.tv_sec) > Num)
+        return 0;
+    }
+  }
+
+  if (std::strcmp(Mode, "fwrite") == 0) {
+    const char *Path = argc > 2 ? argv[2] : "victim.out";
+    FILE *F = std::fopen(Path, "w");
+    if (!F)
+      return 98;
+    char Buf[65536];
+    std::memset(Buf, 'y', sizeof(Buf));
+    for (int I = 0; I < 1024; ++I) // 64 MiB
+      if (std::fwrite(Buf, 1, sizeof(Buf), F) != sizeof(Buf)) {
+        std::fclose(F);
+        return 97;
+      }
+    std::fclose(F);
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "oom") == 0) {
+    size_t Want = static_cast<size_t>(Num > 0 ? Num : 4096) * 1024 * 1024;
+    size_t Chunk = 16 * 1024 * 1024;
+    for (size_t Got = 0; Got < Want; Got += Chunk) {
+      char *P = static_cast<char *>(std::malloc(Chunk));
+      if (!P) {
+        std::fprintf(stderr, "allocation failed after %zu MiB\n",
+                     Got / (1024 * 1024));
+        std::abort();
+      }
+      std::memset(P, 1, Chunk); // touch it so the pages are real
+    }
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "spew") == 0) {
+    size_t Total = static_cast<size_t>(Num > 0 ? Num : 1 << 20);
+    char Buf[65536];
+    std::memset(Buf, 'x', sizeof(Buf));
+    while (Total > 0) {
+      size_t N = Total < sizeof(Buf) ? Total : sizeof(Buf);
+      if (std::fwrite(Buf, 1, N, stdout) != N)
+        return 96;
+      Total -= N;
+    }
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "garbage") == 0) {
+    std::printf("segmentation fault (not really): 0xdeadbeef\n");
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "metric") == 0) {
+    double Sum = argc > 3 ? std::atof(argv[3]) : 1.5;
+    std::printf("LOCUS_TIME %.9f\nLOCUS_CHECKSUM %.9f\n", Num, Sum);
+    return 0;
+  }
+
+  if (std::strcmp(Mode, "orphan") == 0) {
+    double ChildSecs = Num > 0 ? Num : 3600;
+    pid_t Child = fork();
+    if (Child == 0) {
+      std::signal(SIGTERM, SIG_IGN);
+      sleepSeconds(ChildSecs);
+      _exit(0);
+    }
+    std::printf("CHILD %d\n", static_cast<int>(Child));
+    std::fflush(stdout);
+    std::signal(SIGTERM, SIG_IGN);
+    sleepSeconds(3600);
+    return 0;
+  }
+
+  std::fprintf(stderr, "unknown mode: %s\n", Mode);
+  return 99;
+}
