@@ -45,10 +45,19 @@
 //                         default), flush (kernel only), none (buffered)
 //   --resume              reload an existing --journal file and continue the
 //                         interrupted search where it left off
+//   --race-check          parallel-safety report: for every region loop,
+//                         print the race verdict for parallelizing it, the
+//                         private/firstprivate/shared/reduction variable
+//                         classification, and a located witness for every
+//                         proven race; advisory, always exits 0
+//   --trust-parallel      attach `omp parallel for` even to provably-racy
+//                         loops and model their speedup anyway (checksum
+//                         validation still guards the results)
 //   --lint                static diagnostics only: run the CIR verifier on
 //                         the source and warn about regions where dependence
 //                         analysis is unavailable but the optimization
-//                         program wants dependence-based transformations;
+//                         program wants dependence-based transformations,
+//                         and about provably-racy parallelizations;
 //                         prints nothing and exits 0 when everything is clean
 //   --verify-each         run the CIR verifier after every applied
 //                         transformation (variants failing verification are
@@ -59,6 +68,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "src/analysis/Dependence.h"
+#include "src/analysis/ParallelSafety.h"
 #include "src/analysis/TransformPlan.h"
 #include "src/analysis/Verifier.h"
 #include "src/cir/Parser.h"
@@ -68,6 +78,7 @@
 #include "src/locus/LocusParser.h"
 #include "src/locus/LocusPrinter.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -107,7 +118,8 @@ int usage(const char *Argv0) {
                "       [--checksum-rtol X]\n"
                "       [--journal FILE] [--journal-sync none|flush|full]\n"
                "       [--resume] [--no-eval-cache]\n"
-               "       [--lint] [--verify-each] [--no-static-prune]\n",
+               "       [--lint] [--race-check] [--trust-parallel]\n"
+               "       [--verify-each] [--no-static-prune]\n",
                Argv0);
   return 2;
 }
@@ -123,9 +135,74 @@ void collectOuterLoops(const cir::Block &B,
   }
 }
 
+/// Every loop statement inside a block, nest roots and nested loops alike.
+void collectAllLoops(const cir::Block &B,
+                     std::vector<const cir::ForStmt *> &Out) {
+  for (const cir::StmtPtr &S : B.Stmts) {
+    if (const auto *For = cir::dyn_cast<cir::ForStmt>(S.get())) {
+      Out.push_back(For);
+      collectAllLoops(*For->Body, Out);
+    } else if (const auto *Blk = cir::dyn_cast<cir::Block>(S.get())) {
+      collectAllLoops(*Blk, Out);
+    } else if (const auto *If = cir::dyn_cast<cir::IfStmt>(S.get())) {
+      collectAllLoops(*If->Then, Out);
+      if (If->Else)
+        collectAllLoops(*If->Else, Out);
+    }
+  }
+}
+
+/// Parallel-safety report (--race-check): for every outer loop of every
+/// region — plus any nested loop already carrying an `omp parallel for`
+/// pragma — print the verdict for parallelizing it, the data-sharing
+/// classification of every referenced variable, and a located witness for
+/// every proven race. Advisory: always exits 0.
+int runRaceCheck(const cir::Program &Baseline) {
+  for (const std::string &Name : Baseline.regionNames()) {
+    for (const cir::Block *Region : Baseline.findRegions(Name)) {
+      std::vector<const cir::ForStmt *> Outer, All;
+      collectOuterLoops(*Region, Outer);
+      collectAllLoops(*Region, All);
+      std::vector<const cir::ForStmt *> Targets = Outer;
+      for (const cir::ForStmt *For : All)
+        if (analysis::hasOmpParallelFor(*For) &&
+            std::find(Targets.begin(), Targets.end(), For) == Targets.end())
+          Targets.push_back(For);
+
+      for (const cir::ForStmt *For : Targets) {
+        analysis::ParallelSafetyReport Rep =
+            analysis::analyzeParallelLoop(*For);
+        std::printf("region '%s': loop '%s' (%s)%s: %s\n", Name.c_str(),
+                    For->Var.c_str(), For->Loc.str().c_str(),
+                    analysis::hasOmpParallelFor(*For) ? " [omp parallel for]"
+                                                      : "",
+                    Rep.summary().c_str());
+        for (const analysis::RaceWitness &W : Rep.Witnesses)
+          std::printf("  witness: %s\n", W.render().c_str());
+        if (Rep.Verdict == analysis::ParallelVerdict::Safe) {
+          std::string Clauses = Rep.clauses();
+          if (!Clauses.empty())
+            std::printf("  clauses: %s\n", Clauses.c_str());
+        }
+        for (const analysis::VarInfo &V : Rep.Vars) {
+          std::string Class = analysis::varClassName(V.Class);
+          if (V.Class == analysis::VarClass::Reduction && V.Reduction)
+            Class += std::string("(") + analysis::redOpName(*V.Reduction) + ")";
+          std::printf("  %-16s %-17s %s\n",
+                      (V.Name + (V.IsArray ? "[]" : "")).c_str(), Class.c_str(),
+                      V.Why.c_str());
+        }
+      }
+    }
+  }
+  return 0;
+}
+
 /// Static diagnostics: CIR verifier findings plus dependence-availability
 /// warnings for regions the optimization program wants to transform with
-/// dependence-based modules. Always exits 0 (lint never gates a build).
+/// dependence-based modules, and race findings for loops that are (or that
+/// the optimization program asks to be) parallelized. Always exits 0 (lint
+/// never gates a build).
 int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
   support::DiagEngine Diags;
   analysis::verifyProgram(Baseline, Diags);
@@ -149,6 +226,36 @@ int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
       }
     }
     DepAvailable[Name] = Available;
+  }
+
+  // Race findings: any loop already carrying `omp parallel for` whose
+  // parallel safety the analyzer refutes (or cannot establish) is worth a
+  // warning — the search's applyOmpFor gate only sees loops the
+  // optimization program parallelizes, not pragmas baked into the source.
+  for (const std::string &Name : Baseline.regionNames()) {
+    for (const cir::Block *Region : Baseline.findRegions(Name)) {
+      std::vector<const cir::ForStmt *> Loops;
+      collectAllLoops(*Region, Loops);
+      for (const cir::ForStmt *For : Loops) {
+        if (!analysis::hasOmpParallelFor(*For))
+          continue;
+        analysis::ParallelSafetyReport Rep =
+            analysis::analyzeParallelLoop(*For);
+        if (Rep.Verdict == analysis::ParallelVerdict::Racy) {
+          std::string Msg = "loop '" + For->Var +
+                            "' carries 'omp parallel for' but is racy";
+          if (!Rep.Witnesses.empty())
+            Msg += ": " + Rep.Witnesses.front().render();
+          Diags.warning(For->Loc, Name, Msg);
+        } else if (Rep.Verdict == analysis::ParallelVerdict::Unknown) {
+          Diags.warning(For->Loc, Name,
+                        "loop '" + For->Var +
+                            "' carries 'omp parallel for' but its parallel "
+                            "safety cannot be established: " +
+                            Rep.WhyUnknown);
+        }
+      }
+    }
   }
 
   // Extract the plan and flag dependence-based transformations aimed at
@@ -199,10 +306,15 @@ int main(int argc, char **argv) {
   std::string ProgramPath = argv[1];
   std::string SourcePath = argv[2];
 
-  bool Direct = false, Native = false, Lint = false;
+  bool Direct = false, Native = false, Lint = false, RaceCheck = false;
   std::string PointPath, EmitC, ExportDirect, ExportPoint;
   driver::OrchestratorOptions Opts;
   Opts.MaxEvaluations = 100;
+  // The CLI is an interactive tool: snippet arguments may name files on
+  // disk (the paper's scatter_DZG.txt workflow). Search-internal replay
+  // still runs with the flag's effect confined to module invocations the
+  // user asked for.
+  Opts.AllowSnippetFiles = true;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
     auto Next = [&]() -> const char * {
@@ -235,6 +347,10 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--lint") {
       Lint = true;
+    } else if (Arg == "--race-check") {
+      RaceCheck = true;
+    } else if (Arg == "--trust-parallel") {
+      Opts.TrustParallel = true;
     } else if (Arg == "--verify-each") {
       Opts.VerifyEach = true;
     } else if (Arg == "--no-static-prune") {
@@ -326,6 +442,8 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (RaceCheck)
+    return runRaceCheck(**Baseline);
   if (Lint)
     return runLint(**Prog, **Baseline);
 

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy with the repo's curated .clang-tidy profile over src/.
+#
+# Exits 0 when everything is clean OR when clang-tidy is not installed
+# (prints a notice so CI logs show the check was skipped, not passed).
+# Exits 1 with the diagnostics otherwise.
+#
+# Requires a compile_commands.json; pass the build directory as $1 or set
+# BUILD_DIR (default: build). Configure with
+#   cmake -B build -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+set -u
+
+cd "$(dirname "$0")/.."
+
+CLANG_TIDY="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "$CLANG_TIDY" >/dev/null 2>&1; then
+  echo "check-tidy: '$CLANG_TIDY' not found; skipping tidy check" >&2
+  exit 0
+fi
+
+BUILD_DIR="${1:-${BUILD_DIR:-build}}"
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "check-tidy: no $BUILD_DIR/compile_commands.json; configure with" >&2
+  echo "  cmake -B $BUILD_DIR -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 1
+fi
+
+mapfile -t FILES < <(git ls-files 'src/*.cpp')
+if [ "${#FILES[@]}" -eq 0 ]; then
+  echo "check-tidy: no C++ sources found" >&2
+  exit 0
+fi
+
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -clang-tidy-binary "$CLANG_TIDY" -p "$BUILD_DIR" \
+    -quiet "${FILES[@]}"
+  STATUS=$?
+else
+  STATUS=0
+  for F in "${FILES[@]}"; do
+    "$CLANG_TIDY" -p "$BUILD_DIR" --quiet "$F" || STATUS=1
+  done
+fi
+
+if [ "$STATUS" -ne 0 ]; then
+  echo "check-tidy: clang-tidy reported errors" >&2
+  exit 1
+fi
+
+echo "check-tidy: ${#FILES[@]} files clean"

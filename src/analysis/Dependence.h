@@ -96,6 +96,14 @@ public:
 
   int leafStmtCount() const { return NumLeaves; }
 
+  /// The leaf statement behind the index a Dependence's SrcStmt/DstStmt
+  /// refers to (for located witnesses); null when out of range.
+  const cir::Stmt *leafStmt(int I) const {
+    return I >= 0 && I < static_cast<int>(LeafStmts.size())
+               ? LeafStmts[static_cast<size_t>(I)]
+               : nullptr;
+  }
+
 private:
   /// Expands '*' entries and filters to plausible (lexicographically
   /// non-negative) concrete vectors.

@@ -25,7 +25,13 @@ Orchestrator::Orchestrator(const lang::LocusProgram &LProg,
                            const cir::Program &Baseline,
                            OrchestratorOptions Opts)
     : LProg(LProg), Baseline(Baseline), Opts(std::move(Opts)),
-      Registry(lang::ModuleRegistry::standard()) {}
+      Registry(lang::ModuleRegistry::standard()) {
+  // A trusted-parallel run must also trust the evaluator's schedule model:
+  // racy-but-forced variants are modeled (and checksum-verified) instead of
+  // silently serialized.
+  if (this->Opts.TrustParallel)
+    this->Opts.Eval.TrustParallel = true;
+}
 
 Expected<eval::RunResult> Orchestrator::evaluate(const cir::Program &P) {
   eval::ProgramEvaluator Eval(P, Opts.Eval);
@@ -53,6 +59,8 @@ const lang::LocusProgram &Orchestrator::program() {
     TCtx.RequireDeps = Opts.RequireDeps;
     TCtx.Prog = Clone.get();
     TCtx.Snippets = Opts.Snippets;
+    TCtx.TrustParallel = Opts.TrustParallel;
+    TCtx.AllowSnippetFiles = Opts.AllowSnippetFiles;
     OptimizedProg =
         lang::optimizeLocusProgram(LProg, *Clone, Registry, TCtx, &OptStats);
   }
@@ -79,6 +87,8 @@ Expected<DirectResult> Orchestrator::runPoint(const search::Point &Point) {
   TCtx.Prog = Result.Variant.get();
   TCtx.Snippets = Opts.Snippets;
   TCtx.VerifyEach = Opts.VerifyEach;
+  TCtx.TrustParallel = Opts.TrustParallel;
+  TCtx.AllowSnippetFiles = Opts.AllowSnippetFiles;
 
   lang::LocusInterpreter Interp(program(), Registry);
   Result.Exec = Interp.applyPoint(*Result.Variant, Point, TCtx);
@@ -126,6 +136,8 @@ public:
     TCtx.Prog = Variant.get();
     TCtx.Snippets = Opts.Snippets;
     TCtx.VerifyEach = Opts.VerifyEach;
+    TCtx.TrustParallel = Opts.TrustParallel;
+    TCtx.AllowSnippetFiles = Opts.AllowSnippetFiles;
     lang::LocusInterpreter Interp(LProg, Registry);
     lang::ExecOutcome Exec = Interp.applyPoint(*Variant, P, TCtx);
     if (!Exec.Ok)
@@ -281,6 +293,8 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   TCtx.RequireDeps = Opts.RequireDeps;
   TCtx.Prog = ExtractTarget.get();
   TCtx.Snippets = Opts.Snippets;
+  TCtx.TrustParallel = Opts.TrustParallel;
+  TCtx.AllowSnippetFiles = Opts.AllowSnippetFiles;
   lang::LocusInterpreter Interp(program(), Registry);
   analysis::TransformPlan Plan;
   lang::ExecOutcome Extract = Interp.extractSpace(
@@ -379,6 +393,11 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
       ReplayCtx.RequireDeps = Opts.RequireDeps;
       ReplayCtx.Prog = &Prog;
       ReplayCtx.Snippets = Opts.Snippets;
+      // Must match the concrete-interpretation context exactly: a replayed
+      // classification that diverges from the concrete run would change the
+      // search trajectory.
+      ReplayCtx.TrustParallel = Opts.TrustParallel;
+      ReplayCtx.AllowSnippetFiles = Opts.AllowSnippetFiles;
       lang::ModuleArgs MArgs;
       for (const auto &[Key, Arg] : Args)
         MArgs[Key] = planArgToValue(Arg);

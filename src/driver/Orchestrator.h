@@ -62,6 +62,15 @@ struct OrchestratorOptions {
   eval::EvalOptions Eval;
   /// Refuse transformations when dependences are unavailable.
   bool RequireDeps = false;
+  /// Attach `omp parallel for` even to loops the parallel-safety analyzer
+  /// proves racy, and let the simulator model their parallel speedup
+  /// anyway (the --trust-parallel escape hatch; checksum validation still
+  /// guards such variants). Propagated into Eval.TrustParallel.
+  bool TrustParallel = false;
+  /// Let BuiltIn.Altdesc resolve unregistered snippet names as filesystem
+  /// paths. Off by default so search runs never read surprise files; the
+  /// CLI enables it for the paper's external snippet-file workflow.
+  bool AllowSnippetFiles = false;
   /// Apply the Section IV-C Locus-program optimizations (query
   /// pre-execution, constant folding, dead-branch elimination) before
   /// interpretation. The direct program is re-interpreted per assessed

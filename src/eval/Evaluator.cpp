@@ -4,6 +4,7 @@
 
 #include "src/analysis/Affine.h"
 #include "src/analysis/Dependence.h"
+#include "src/analysis/ParallelSafety.h"
 #include "src/cir/AstUtils.h"
 #include "src/support/Hashing.h"
 #include "src/support/StringUtils.h"
@@ -126,6 +127,9 @@ struct CompiledProgram {
 
   std::vector<CS> Body;
   std::string CompileError;
+  /// Compile-time model notes surfaced on every RunResult (e.g. OpenMP
+  /// speedup not modeled because the loop's safety is unproven).
+  std::vector<std::string> Warnings;
 
   // ---- execution state ----
   std::vector<double> ScalarD;
@@ -389,6 +393,20 @@ struct CompiledProgram {
     }
     if (!Opts.CountCost)
       return;
+    // OpenMP schedule model gate: only loops the parallel-safety analyzer
+    // proves race-free get modeled speedup. Unproven or racy loops still
+    // execute (sequentially, so checksums stay exact) but are costed
+    // sequentially with a warning — a racy parallelization must not be
+    // rewarded by the model. TrustParallel restores the old behavior.
+    if (Out.Par != Sched::None && !Opts.TrustParallel) {
+      analysis::ParallelSafetyReport Rep = analysis::analyzeParallelLoop(For);
+      if (Rep.Verdict != analysis::ParallelVerdict::Safe) {
+        Out.Par = Sched::None;
+        Out.Chunk = 0;
+        Warnings.push_back("not modeling parallel speedup for loop '" +
+                           For.Var + "': " + Rep.summary());
+      }
+    }
     // SIMD model, mirroring an optimizing compiler (the paper's ICC -O3):
     //  - only innermost loops vectorize;
     //  - a loop with a *proven* carried dependence never vectorizes, even
@@ -1135,6 +1153,7 @@ struct CompiledProgram {
       for (int64_t X : V)
         Sum += static_cast<double>(X);
     R.Checksum = Sum;
+    R.Warnings = Warnings;
     return R;
   }
 };

@@ -36,6 +36,12 @@ struct EvalOptions {
   machine::MachineConfig Machine = machine::MachineConfig::xeonE5v3();
   /// Abort evaluation after this many loop iterations (runaway guard).
   uint64_t MaxIterations = 1ull << 33;
+  /// Model OpenMP speedup even for loops the parallel-safety analyzer
+  /// cannot prove race-free. Off by default: an unproven `omp parallel for`
+  /// executes (and is costed) sequentially, with a warning in
+  /// RunResult::Warnings, so the search cannot be steered by a speedup the
+  /// real machine would only reach through a data race.
+  bool TrustParallel = false;
 };
 
 /// The outcome of one program execution.
@@ -50,6 +56,9 @@ struct RunResult {
   std::vector<machine::CacheLevelStats> Cache;
   double Checksum = 0; ///< sum over all arrays; equal checksums across
                        ///< variants indicate semantic equivalence
+  /// Non-fatal model notes, e.g. an `omp parallel for` whose speedup was
+  /// not modeled because the loop's parallel safety is unproven.
+  std::vector<std::string> Warnings;
 };
 
 namespace detail {

@@ -2,6 +2,7 @@
 
 #include "src/eval/NativeEvaluator.h"
 
+#include "src/analysis/ParallelSafety.h"
 #include "src/cir/AstUtils.h"
 #include "src/cir/Printer.h"
 #include "src/support/Hashing.h"
@@ -66,6 +67,12 @@ void flattenDeclGroups(Block &B) {
 std::string emitNativeC(const Program &OrigP) {
   std::unique_ptr<Program> Cloned = OrigP.clone();
   flattenDeclGroups(*Cloned->Body);
+  // Proven-safe `omp parallel for` loops get their data-sharing clauses
+  // (private inner indices, firstprivate scalars, reductions) so the emitted
+  // C is correct when built with -fopenmp, not just when the pragma is
+  // ignored. Unproven loops keep their bare pragma; the checksum validation
+  // against the simulator reference catches a miscompiled race.
+  analysis::annotateOmpClauses(*Cloned);
   const Program &P = *Cloned;
   std::ostringstream Out;
   Out << "#include <stdio.h>\n#include <stdlib.h>\n#include <time.h>\n";

@@ -2,6 +2,7 @@
 
 #include "src/transform/AltdescPragmas.h"
 
+#include "src/analysis/ParallelSafety.h"
 #include "src/cir/Parser.h"
 #include "src/cir/PathIndex.h"
 
@@ -15,20 +16,24 @@ using namespace cir;
 
 TransformResult applyAltdesc(Block &Region, const AltdescArgs &Args,
                              const TransformContext &Ctx) {
-  // Resolve the snippet text: registry first, then the filesystem, then
-  // treat the string itself as inline code.
+  // Resolve the snippet text: registry first, then (only when the context
+  // explicitly allows filesystem snippets) a file path, then treat the
+  // string itself as inline code. Search-driven replay runs with
+  // AllowSnippetFiles off so a snippet argument can never trigger
+  // surprising filesystem reads in sandboxed runs.
   std::string Text;
   auto It = Ctx.Snippets.find(Args.Source);
   if (It != Ctx.Snippets.end()) {
     Text = It->second;
   } else {
-    std::ifstream File(Args.Source);
-    if (File) {
-      std::ostringstream Buf;
-      Buf << File.rdbuf();
-      Text = Buf.str();
-    } else {
-      Text = Args.Source;
+    Text = Args.Source;
+    if (Ctx.AllowSnippetFiles) {
+      std::ifstream File(Args.Source);
+      if (File) {
+        std::ostringstream Buf;
+        Buf << File.rdbuf();
+        Text = Buf.str();
+      }
     }
   }
 
@@ -81,6 +86,34 @@ TransformResult applyOmpFor(Block &Region, const OmpForArgs &Args,
       Args.Schedule != "dynamic")
     return TransformResult::error("unsupported OpenMP schedule: " +
                                   Args.Schedule);
+
+  // Parallel-safety gate: refuse to parallelize a loop with a proven
+  // loop-carried dependence (the race witness travels in the message).
+  // Unprovable loops proceed unless RequireDeps — the paper lets
+  // programmers enforce transformations they know are legal — and
+  // TrustParallel skips the gate entirely.
+  Expected<ForStmt *> Loop = resolveLoopPathLoopwise(Region, Args.LoopPath);
+  if (!Loop.ok())
+    return TransformResult::error(Loop.message());
+  if (!Ctx.TrustParallel) {
+    analysis::ParallelSafetyReport Rep = analysis::analyzeParallelLoop(**Loop);
+    if (Rep.Verdict == analysis::ParallelVerdict::Racy) {
+      TransformResult R = TransformResult::illegal(
+          "parallelizing loop '" + (*Loop)->Var + "' is racy: " +
+          (Rep.Witnesses.empty() ? std::string("conflict detected")
+                                 : Rep.Witnesses.front().render()));
+      R.Loc = (*Loop)->Loc;
+      return R;
+    }
+    if (Rep.Verdict == analysis::ParallelVerdict::Unknown && Ctx.RequireDeps) {
+      TransformResult R = TransformResult::illegal(
+          "cannot prove loop '" + (*Loop)->Var +
+          "' safe to parallelize: " + Rep.WhyUnknown);
+      R.Loc = (*Loop)->Loc;
+      return R;
+    }
+  }
+
   std::string Text = "omp parallel for";
   if (!Args.Schedule.empty()) {
     Text += " schedule(" + Args.Schedule;

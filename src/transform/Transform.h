@@ -86,6 +86,18 @@ struct TransformContext {
   /// module call (LLVM's -verify-each discipline); a transformation that
   /// produces invalid IR fails at the rewrite that introduced it.
   bool VerifyEach = false;
+
+  /// When true, Pragma.OMPFor attaches `omp parallel for` even to loops the
+  /// parallel-safety analyzer proves racy (the programmer-knows-best escape
+  /// hatch; the checksum validator still guards such variants). Default off:
+  /// proven races are rejected with their witness.
+  bool TrustParallel = false;
+
+  /// When true, BuiltIn.Altdesc may resolve a snippet argument that is not a
+  /// registered snippet name by reading it as a filesystem path. Off by
+  /// default so search-driven module replay never touches the filesystem;
+  /// the CLI turns it on (the paper's external snippet files, Fig. 11).
+  bool AllowSnippetFiles = false;
 };
 
 /// Collects declared element types (globals plus every local declaration).

@@ -168,5 +168,132 @@ CodeReg matmul {
   EXPECT_TRUE(R->Search.Found);
 }
 
+//===----------------------------------------------------------------------===//
+// Racy parallelizations prune statically
+//===----------------------------------------------------------------------===//
+
+/// Region with one provably-safe loop ("0") and one provably-racy loop
+/// ("1", an in-place prefix scan).
+const char *TwoLoopSrc = R"(
+#define N 48
+double A[N];
+double B[N];
+double V[N];
+int main() {
+  int i, j;
+#pragma @Locus block=pair
+  for (i = 0; i < N; i++)
+    B[i] = A[i] * 2.0 + 1.0;
+  for (j = 1; j < N; j++)
+    V[j] = V[j - 1] + B[j];
+#pragma @Locus endblock
+}
+)";
+
+std::string ompForChoice(const std::string &Loops) {
+  return std::string(R"(
+Search {
+  buildcmd = "make";
+  runcmd = "./pair";
+}
+
+CodeReg pair {
+  which = enum()") +
+         Loops + R"();
+  Pragma.OMPFor(loop=which);
+}
+)";
+}
+
+/// The race detector feeds the legality oracle: a point that parallelizes
+/// the racy loop is classified PrunedStatic and never reaches the
+/// evaluator, and the search lands on the exact same best point as a
+/// search over the hand-pruned space (racy choice deleted by hand).
+TEST(StaticPrune, RacyParallelizationIsPrunedNotEvaluated) {
+  OrchestratorOptions Opts = tinyOptions();
+  Opts.SearcherName = "exhaustive";
+
+  auto CP1 = parseCOrDie(TwoLoopSrc);
+  auto LP1 = parseLocusOrDie(ompForChoice("\"0\", \"1\""));
+  Orchestrator Full(*LP1, *CP1, Opts);
+  auto RFull = Full.runSearch();
+  ASSERT_TRUE(RFull.ok()) << RFull.message();
+
+  // Two points; exactly the racy one is pruned, before evaluation.
+  EXPECT_EQ(RFull->Search.Evaluations, 2);
+  EXPECT_EQ(RFull->Search.PrunedStatic, 1);
+  EXPECT_EQ(RFull->Search.failures(search::FailureKind::TransformIllegal), 1);
+  EXPECT_TRUE(RFull->Search.Found);
+
+  // The pruned record carries the race witness.
+  bool SawWitness = false;
+  for (const auto &Rec : RFull->Search.History)
+    if (!Rec.Valid && Rec.Detail.find("racy") != std::string::npos &&
+        Rec.Detail.find("'V'") != std::string::npos)
+      SawWitness = true;
+  EXPECT_TRUE(SawWitness);
+
+  // Hand-pruned space: the racy choice removed from the enum. Identical
+  // best point, identical best metric.
+  auto CP2 = parseCOrDie(TwoLoopSrc);
+  auto LP2 = parseLocusOrDie(ompForChoice("\"0\""));
+  Orchestrator Hand(*LP2, *CP2, Opts);
+  auto RHand = Hand.runSearch();
+  ASSERT_TRUE(RHand.ok()) << RHand.message();
+  EXPECT_EQ(RHand->Search.Evaluations, 1);
+  EXPECT_EQ(RHand->Search.PrunedStatic, 0);
+  EXPECT_EQ(driver::serializePoint(RFull->Search.Best),
+            driver::serializePoint(RHand->Search.Best));
+  EXPECT_DOUBLE_EQ(RFull->Search.BestMetric, RHand->Search.BestMetric);
+}
+
+/// Disabling the oracle must not change what the search finds: the racy
+/// point then reaches variant materialization, where the applyOmpFor gate
+/// rejects it as an evaluated failure — same trajectory, same winner.
+TEST(StaticPrune, RacePruneDoesNotChangeTheTrajectory) {
+  auto run = [&](bool StaticPrune) {
+    auto CP = parseCOrDie(TwoLoopSrc);
+    auto LP = parseLocusOrDie(ompForChoice("\"0\", \"1\""));
+    OrchestratorOptions Opts = tinyOptions();
+    Opts.SearcherName = "exhaustive";
+    Opts.StaticPrune = StaticPrune;
+    Orchestrator Orch(*LP, *CP, Opts);
+    auto R = Orch.runSearch();
+    EXPECT_TRUE(R.ok()) << R.message();
+    return std::move(*R);
+  };
+  driver::SearchWorkflowResult On = run(true);
+  driver::SearchWorkflowResult Off = run(false);
+  EXPECT_EQ(On.Search.PrunedStatic, 1);
+  EXPECT_EQ(Off.Search.PrunedStatic, 0);
+  EXPECT_EQ(On.Search.Evaluations, Off.Search.Evaluations);
+  ASSERT_EQ(On.Search.History.size(), Off.Search.History.size());
+  for (size_t I = 0; I < On.Search.History.size(); ++I) {
+    EXPECT_EQ(On.Search.History[I].P.key(), Off.Search.History[I].P.key());
+    EXPECT_EQ(On.Search.History[I].Valid, Off.Search.History[I].Valid);
+  }
+  EXPECT_EQ(driver::serializePoint(On.Search.Best),
+            driver::serializePoint(Off.Search.Best));
+  EXPECT_DOUBLE_EQ(On.Search.BestMetric, Off.Search.BestMetric);
+}
+
+/// TrustParallel threads end to end: with the override the racy point is
+/// materialized (simulator still executes it sequentially, so the search
+/// simply sees a second valid-but-unimproved variant).
+TEST(StaticPrune, TrustParallelDisablesTheRaceGate) {
+  auto CP = parseCOrDie(TwoLoopSrc);
+  auto LP = parseLocusOrDie(ompForChoice("\"0\", \"1\""));
+  OrchestratorOptions Opts = tinyOptions();
+  Opts.SearcherName = "exhaustive";
+  Opts.TrustParallel = true;
+  Orchestrator Orch(*LP, *CP, Opts);
+  auto R = Orch.runSearch();
+  ASSERT_TRUE(R.ok()) << R.message();
+  EXPECT_EQ(R->Search.Evaluations, 2);
+  EXPECT_EQ(R->Search.PrunedStatic, 0);
+  EXPECT_EQ(R->Search.failures(search::FailureKind::TransformIllegal), 0);
+  EXPECT_TRUE(R->Search.Found);
+}
+
 } // namespace
 } // namespace locus
