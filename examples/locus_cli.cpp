@@ -17,6 +17,12 @@
 //   --no-eval-cache       disable the content-addressed evaluation cache
 //                         (distinct points materializing to the same variant
 //                         are then re-simulated each time)
+//   --cache-dir DIR       persist the evaluation cache in DIR/evalcache.rlog
+//                         (CRC-framed record log, safe to share between
+//                         concurrent orchestrator processes); a later run
+//                         with the same directory starts warm
+//   --cache-readonly      consume a shared --cache-dir without appending to
+//                         it (for farms where one writer owns the store)
 //   --machine xeon|tiny   simulated machine (default xeon)
 //   --cores N             override the core count
 //   --emit-c FILE         write the best variant as compilable C
@@ -40,7 +46,9 @@
 //                         variant-vs-baseline and native-vs-simulator
 //                         (default 1e-6)
 //   --journal FILE        append every assessed variant to FILE (crash-safe
-//                         JSONL journal, fsynced per record)
+//                         CRC-framed record log, fsynced per record; a torn
+//                         tail from a crash is recovered, other corruption
+//                         is a located error)
 //   --journal-sync MODE   durability per appended record: full (fsync, the
 //                         default), flush (kernel only), none (buffered)
 //   --resume              reload an existing --journal file and continue the
@@ -118,6 +126,7 @@ int usage(const char *Argv0) {
                "       [--checksum-rtol X]\n"
                "       [--journal FILE] [--journal-sync none|flush|full]\n"
                "       [--resume] [--no-eval-cache]\n"
+               "       [--cache-dir DIR] [--cache-readonly]\n"
                "       [--lint] [--race-check] [--trust-parallel]\n"
                "       [--verify-each] [--no-static-prune]\n",
                Argv0);
@@ -379,6 +388,11 @@ int main(int argc, char **argv) {
       Opts.UseEvalCache = false;
     } else if (Arg == "--eval-cache") {
       Opts.UseEvalCache = true;
+    } else if (Arg == "--cache-dir") {
+      if (const char *V = Next())
+        Opts.CacheDir = V;
+    } else if (Arg == "--cache-readonly") {
+      Opts.CacheReadOnly = true;
     } else if (Arg == "--machine") {
       const char *V = Next();
       if (V && std::strcmp(V, "tiny") == 0)
@@ -530,6 +544,17 @@ int main(int argc, char **argv) {
                   (unsigned long long)R->Search.CacheHits,
                   (unsigned long long)R->Search.CacheMisses,
                   (unsigned long long)R->Search.CacheDedupSaves);
+    if (!Opts.CacheDir.empty()) {
+      std::printf("persistent cache: %llu loaded, %llu appended",
+                  (unsigned long long)R->Search.CacheLoadedPersistent,
+                  (unsigned long long)R->Search.CachePersistedAppends);
+      if (R->Search.CacheWarnings)
+        std::printf(", %llu warnings",
+                    (unsigned long long)R->Search.CacheWarnings);
+      if (R->Search.CacheDegraded)
+        std::printf(" (degraded to in-memory)");
+      std::printf("\n");
+    }
     if (R->Guard.UnstableRetries || R->Guard.QuarantinedPoints)
       std::printf("guards: %d unstable retries (%d recovered), %d points "
                   "quarantined (%d rejects)\n",

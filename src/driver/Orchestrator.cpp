@@ -9,6 +9,7 @@
 #include "src/cir/AstUtils.h"
 #include "src/cir/Printer.h"
 #include "src/search/Journal.h"
+#include "src/search/PersistentEvalCache.h"
 #include "src/search/PointCodec.h"
 #include "src/support/Hashing.h"
 #include "src/support/StringUtils.h"
@@ -121,7 +122,7 @@ public:
                    const cir::Program &Baseline,
                    const OrchestratorOptions &Opts, double BaselineChecksum,
                    uint64_t DeadlineIterations, double NativeTimeoutSeconds,
-                   search::EvalCache *Cache)
+                   search::VariantOutcomeCache *Cache)
       : LProg(LProg), Registry(Registry), Baseline(Baseline), Opts(Opts),
         BaselineChecksum(BaselineChecksum),
         DeadlineIterations(DeadlineIterations),
@@ -152,10 +153,10 @@ public:
     // the same transformed program (clamped tile sizes, no-op unrolls);
     // the simulator metric of a variant is deterministic, so one
     // evaluation serves every structurally-identical materialization.
-    uint64_t VariantHash = 0;
+    search::CacheKey VariantKey;
     if (Cache) {
-      VariantHash = fnv1a(cir::printProgram(*Variant));
-      if (std::optional<EvalOutcome> Hit = Cache->lookup(VariantHash, P.key()))
+      VariantKey = search::makeCacheKey(cir::printProgram(*Variant));
+      if (std::optional<EvalOutcome> Hit = Cache->lookup(VariantKey, P.key()))
         return *Hit;
     }
 
@@ -163,7 +164,7 @@ public:
     // MetricUnstable is never cached: the guard's bounded retries must
     // re-measure, not be served the same flaky reading back.
     if (Cache && Out.Failure != FailureKind::MetricUnstable)
-      Cache->insert(VariantHash, P.key(), Out);
+      Cache->insert(VariantKey, P.key(), Out);
     return Out;
   }
 
@@ -248,7 +249,7 @@ private:
   /// Per-run wall-clock deadline under NativeMetric (derived from the
   /// baseline's native time); 0 keeps the configured default.
   double NativeTimeoutSeconds;
-  search::EvalCache *Cache;
+  search::VariantOutcomeCache *Cache;
 };
 
 /// Converts a fully resolved PlanArg back into a module-call Value for
@@ -362,10 +363,26 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   if (!Searcher)
     return Expected<SearchWorkflowResult>::error("unknown search module: " +
                                                  Opts.SearcherName);
-  search::EvalCache Cache;
+  // Cache selection: plain in-memory, or the durable store when a cache
+  // directory is configured. The persistent cache never fails construction
+  // (any store problem degrades it to in-memory with a warning), so the
+  // search proceeds either way.
+  search::EvalCache MemCache;
+  std::unique_ptr<search::PersistentEvalCache> DiskCache;
+  search::VariantOutcomeCache *Cache = nullptr;
+  if (Opts.UseEvalCache) {
+    if (!Opts.CacheDir.empty()) {
+      search::PersistentCacheOptions PCOpts;
+      PCOpts.Dir = Opts.CacheDir;
+      PCOpts.ReadOnly = Opts.CacheReadOnly;
+      DiskCache = std::make_unique<search::PersistentEvalCache>(PCOpts);
+      Cache = DiskCache.get();
+    } else {
+      Cache = &MemCache;
+    }
+  }
   VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum,
-                       DeadlineIterations, NativeTimeoutSeconds,
-                       Opts.UseEvalCache ? &Cache : nullptr);
+                       DeadlineIterations, NativeTimeoutSeconds, Cache);
   // Guards 2+3: bounded retry of unstable metrics, quarantine of repeat
   // offenders.
   search::GuardedObjective Guarded(Obj, Opts.Guard);
@@ -415,15 +432,30 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   // evaluation.
   search::SearchJournal Journal;
   if (!Opts.JournalPath.empty()) {
+    // The header pins the journal to this space + searcher config; a
+    // mismatched journal is refused with a located diagnostic instead of
+    // replaying another run's points into the wrong space.
+    search::JournalHeader Header;
+    Header.SpaceFingerprint = Result.Space.fingerprint();
+    Header.ConfigDigest =
+        search::journalConfigDigest(Opts.SearcherName, Opts.Seed);
+    bool LoadedLegacy = false;
     if (Opts.ResumeFromJournal && fileExists(Opts.JournalPath)) {
-      auto Loaded = search::SearchJournal::load(Opts.JournalPath, Result.Space);
+      auto Loaded = search::SearchJournal::load(Opts.JournalPath, Result.Space,
+                                                &Header);
       if (!Loaded.ok())
         return Expected<SearchWorkflowResult>::error(
             "cannot resume from journal " + Opts.JournalPath + ": " +
             Loaded.message());
+      if (!Loaded->Warning.empty())
+        std::fprintf(stderr, "warning: %s\n", Loaded->Warning.c_str());
       SOpts.Replay = std::move(Loaded->Records);
+      LoadedLegacy = Loaded->Legacy;
     }
-    auto J = search::SearchJournal::open(Opts.JournalPath, Opts.JournalSyncMode);
+    auto J = search::SearchJournal::open(Opts.JournalPath, Opts.JournalSyncMode,
+                                         Header,
+                                         LoadedLegacy ? &SOpts.Replay
+                                                      : nullptr);
     if (!J.ok())
       return Expected<SearchWorkflowResult>::error(J.message());
     Journal = std::move(*J);
@@ -434,10 +466,19 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
 
   Result.Search = Searcher->search(Result.Space, Guarded, SOpts);
   Result.Guard = Guarded.stats();
-  search::EvalCacheStats CStats = Cache.stats();
-  Result.Search.CacheHits = CStats.Hits;
-  Result.Search.CacheMisses = CStats.Misses;
-  Result.Search.CacheDedupSaves = CStats.DedupSaves;
+  if (Cache) {
+    search::EvalCacheStats CStats = Cache->stats();
+    Result.Search.CacheHits = CStats.Hits;
+    Result.Search.CacheMisses = CStats.Misses;
+    Result.Search.CacheDedupSaves = CStats.DedupSaves;
+  }
+  if (DiskCache) {
+    search::PersistentCacheStats PStats = DiskCache->persistentStats();
+    Result.Search.CacheLoadedPersistent = PStats.LoadedEntries;
+    Result.Search.CachePersistedAppends = PStats.AppendedEntries;
+    Result.Search.CacheWarnings = PStats.Warnings;
+    Result.Search.CacheDegraded = PStats.Degraded;
+  }
 
   // Non-prescriptive selection (Section II): keep the baseline when no
   // variant improves on it.

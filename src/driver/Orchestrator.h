@@ -58,6 +58,14 @@ struct OrchestratorOptions {
   /// deterministic — only skips repeat simulation cost. Counters are
   /// surfaced in SearchResult::CacheHits / CacheMisses / CacheDedupSaves.
   bool UseEvalCache = true;
+  /// Directory of the durable evaluation-cache store shared across runs and
+  /// processes (the CLI's --cache-dir); empty keeps the cache in-memory
+  /// only. Outcomes persist in <dir>/evalcache.rlog (crash-safe, flock
+  /// shared); any store problem degrades to in-memory with a warning,
+  /// never failing the search. Requires UseEvalCache.
+  std::string CacheDir;
+  /// Consume the shared store without growing it (--cache-readonly).
+  bool CacheReadOnly = false;
   /// Machine model and evaluation options.
   eval::EvalOptions Eval;
   /// Refuse transformations when dependences are unavailable.
@@ -106,7 +114,8 @@ struct OrchestratorOptions {
   /// Guard policy: bounded retries for unstable metrics and quarantining of
   /// repeat-offender points.
   search::GuardOptions Guard;
-  /// Path of the crash-safe JSONL search journal; empty disables
+  /// Path of the crash-safe search journal (CRC-framed records with a
+  /// space-fingerprint header; see search::SearchJournal); empty disables
   /// journaling. Every fresh evaluation is appended and pushed toward
   /// stable storage per JournalSyncMode.
   std::string JournalPath;

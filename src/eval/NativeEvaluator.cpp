@@ -9,11 +9,13 @@
 #include "src/support/StringUtils.h"
 
 #include <charconv>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <set>
 #include <sstream>
+#include <thread>
 
 namespace locus {
 namespace eval {
@@ -307,6 +309,41 @@ search::EvalOutcome toEvalOutcome(const NativeResult &R) {
               : search::EvalOutcome::fail(R.Failure, R.Error);
 }
 
+double nativeBackoffSeconds(uint64_t Seed, int Attempt, double BaseSeconds,
+                            double CapSeconds) {
+  if (BaseSeconds <= 0 || Attempt < 0)
+    return 0;
+  int Exp = Attempt < 20 ? Attempt : 20; // 2^20 * base already dwarfs any cap
+  double Delay = BaseSeconds * static_cast<double>(1ULL << Exp);
+  uint64_t H = hashCombine(Seed, static_cast<uint64_t>(Attempt) + 1);
+  double Jitter = 0.5 + 0.5 * (static_cast<double>(H % 1024) / 1023.0);
+  Delay *= Jitter;
+  if (CapSeconds > 0 && Delay > CapSeconds)
+    Delay = CapSeconds;
+  return Delay;
+}
+
+NativeResult
+retryUnstable(const std::function<NativeResult(int)> &RunOnce,
+              const std::function<void(double)> &Sleep, uint64_t Seed,
+              int MaxRetries, double BaseSeconds, double CapSeconds) {
+  NativeResult R;
+  int Attempts = 1 + std::max(0, MaxRetries);
+  for (int Attempt = 0; Attempt < Attempts; ++Attempt) {
+    if (Attempt > 0 && Sleep)
+      Sleep(nativeBackoffSeconds(Seed, Attempt - 1, BaseSeconds, CapSeconds));
+    R = RunOnce(Attempt);
+    // Only the transient classification is worth re-measuring; a crash or a
+    // deadline will reproduce, and retrying it would just burn budget.
+    if (R.Ok || R.Failure != search::FailureKind::MetricUnstable)
+      return R;
+  }
+  if (Attempts > 1)
+    R.Error += " (persisted across " + std::to_string(Attempts - 1) +
+               " backoff retries)";
+  return R;
+}
+
 NativeResult evaluateNative(const Program &P, const NativeOptions &Opts) {
   using search::FailureKind;
   NativeResult R;
@@ -367,41 +404,57 @@ NativeResult evaluateNative(const Program &P, const NativeOptions &Opts) {
 
   // Run phase: deadline + rlimits; minimum time over repeats; the checksum
   // must reproduce across repeats or the measurement is unstable.
-  double BestSecs = 0, FirstSum = 0;
-  for (int Rep = 0; Rep < std::max(1, Opts.Repeats); ++Rep) {
-    support::SubprocessOptions Run;
-    Run.Argv = {Bin};
-    Run.WorkDir = Work.path();
-    Run.Limits.WallClockSeconds = Opts.RunTimeoutSeconds;
-    Run.Limits.MaxCaptureBytes = Opts.MaxCaptureBytes;
-    if (Opts.RunTimeoutSeconds > 0)
-      Run.Limits.CpuSeconds =
-          static_cast<long>(Opts.RunTimeoutSeconds) + 1;
-    Run.Limits.AddressSpaceBytes = Opts.MemoryLimitBytes;
-    Run.Limits.FileSizeBytes = 1L << 26; // a variant has no business writing
-    NativeResult Attempt = classifyNativeRun(runSubprocess(Run));
-    if (!Attempt.Ok)
-      return Finish(Attempt);
-    if (Rep == 0) {
-      FirstSum = Attempt.Checksum;
-    } else {
-      double Tol = 1e-9 * std::max(1.0, std::abs(FirstSum));
-      if (std::abs(Attempt.Checksum - FirstSum) > Tol) {
-        R.Failure = FailureKind::MetricUnstable;
-        R.Error = "checksum varies across repeats: " +
-                  std::to_string(FirstSum) + " vs " +
-                  std::to_string(Attempt.Checksum);
-        return Finish(R);
+  auto RunPhase = [&](int /*Attempt*/) -> NativeResult {
+    NativeResult Phase;
+    double BestSecs = 0, FirstSum = 0;
+    for (int Rep = 0; Rep < std::max(1, Opts.Repeats); ++Rep) {
+      support::SubprocessOptions Run;
+      Run.Argv = {Bin};
+      Run.WorkDir = Work.path();
+      Run.Limits.WallClockSeconds = Opts.RunTimeoutSeconds;
+      Run.Limits.MaxCaptureBytes = Opts.MaxCaptureBytes;
+      if (Opts.RunTimeoutSeconds > 0)
+        Run.Limits.CpuSeconds =
+            static_cast<long>(Opts.RunTimeoutSeconds) + 1;
+      Run.Limits.AddressSpaceBytes = Opts.MemoryLimitBytes;
+      Run.Limits.FileSizeBytes = 1L << 26; // a variant has no business writing
+      NativeResult Attempt = classifyNativeRun(runSubprocess(Run));
+      if (!Attempt.Ok)
+        return Attempt;
+      if (Rep == 0) {
+        FirstSum = Attempt.Checksum;
+      } else {
+        double Tol = 1e-9 * std::max(1.0, std::abs(FirstSum));
+        if (std::abs(Attempt.Checksum - FirstSum) > Tol) {
+          Phase.Failure = FailureKind::MetricUnstable;
+          Phase.Error = "checksum varies across repeats: " +
+                        std::to_string(FirstSum) + " vs " +
+                        std::to_string(Attempt.Checksum);
+          return Phase;
+        }
       }
+      if (Rep == 0 || Attempt.Seconds < BestSecs)
+        BestSecs = Attempt.Seconds;
     }
-    if (Rep == 0 || Attempt.Seconds < BestSecs)
-      BestSecs = Attempt.Seconds;
-  }
-  R.Ok = true;
-  R.Failure = FailureKind::None;
-  R.Seconds = BestSecs;
-  R.Checksum = FirstSum;
-  return Finish(R);
+    Phase.Ok = true;
+    Phase.Failure = FailureKind::None;
+    Phase.Seconds = BestSecs;
+    Phase.Checksum = FirstSum;
+    return Phase;
+  };
+
+  // Transient instability (noisy neighbor, paging storm) is re-measured on
+  // a deterministic backoff schedule. Seeding from the variant's source
+  // keeps the schedule a pure function of the variant: --jobs N workers and
+  // separate processes retry identically, preserving trajectory parity.
+  return Finish(retryUnstable(
+      RunPhase,
+      [](double Secs) {
+        if (Secs > 0)
+          std::this_thread::sleep_for(std::chrono::duration<double>(Secs));
+      },
+      fnv1a(Source), Opts.MaxUnstableRetries, Opts.RetryBackoffBaseSeconds,
+      Opts.RetryBackoffCapSeconds));
 }
 
 } // namespace eval

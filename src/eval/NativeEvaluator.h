@@ -33,6 +33,8 @@
 #include "src/support/Error.h"
 #include "src/support/Subprocess.h"
 
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -62,6 +64,19 @@ struct NativeOptions {
   /// Keep the working directory (sources, binary, outputs) on disk and
   /// report it in NativeResult::WorkDir — the CLI's --keep-workdirs.
   bool KeepWorkDir = false;
+  /// Bounded re-runs of the measurement phase when it classifies
+  /// MetricUnstable (garbage output, checksum varying across repeats) — the
+  /// transient failure mode of a loaded host. Other failures (crash,
+  /// deadline, compile error) are never retried. 0 disables.
+  int MaxUnstableRetries = 2;
+  /// Capped exponential backoff between those retries: attempt K sleeps
+  /// roughly Base * 2^K seconds, scaled by a jitter factor derived purely
+  /// from (seed, attempt) — deterministic, so --jobs 1 and --jobs N runs
+  /// retry on an identical schedule. <= 0 disables the sleep (retries still
+  /// happen back to back).
+  double RetryBackoffBaseSeconds = 0.05;
+  /// Ceiling on a single backoff sleep.
+  double RetryBackoffCapSeconds = 1.0;
 };
 
 struct NativeResult {
@@ -106,6 +121,25 @@ NativeResult classifyNativeRun(const support::SubprocessResult &R);
 /// Maps a NativeResult onto the search-layer outcome (success(Seconds) or
 /// fail(Failure, Error)).
 search::EvalOutcome toEvalOutcome(const NativeResult &R);
+
+/// The backoff before retry number \p Attempt (0-based): a pure function of
+/// its arguments — capped exponential growth from \p BaseSeconds with a
+/// multiplicative jitter in [0.5, 1.0] derived from (Seed, Attempt), no
+/// global RNG — so every process and worker retrying the same variant
+/// computes the same schedule and parallel runs stay reproducible.
+double nativeBackoffSeconds(uint64_t Seed, int Attempt, double BaseSeconds,
+                            double CapSeconds);
+
+/// Retry policy driver: invokes \p RunOnce (argument: 0-based attempt
+/// number) until it returns Ok or a failure other than MetricUnstable, up
+/// to \p MaxRetries re-runs, sleeping nativeBackoffSeconds() via \p Sleep
+/// between attempts. Returns the final attempt's result, its Error
+/// annotated with the retry count when instability persisted. Exposed with
+/// injectable callables so tests exercise the policy without a compiler.
+NativeResult
+retryUnstable(const std::function<NativeResult(int)> &RunOnce,
+              const std::function<void(double)> &Sleep, uint64_t Seed,
+              int MaxRetries, double BaseSeconds, double CapSeconds);
 
 /// Builds and runs \p P natively inside the sandbox.
 NativeResult evaluateNative(const cir::Program &P,

@@ -2,13 +2,26 @@
 
 #include "src/search/EvalCache.h"
 
+#include "src/support/Hashing.h"
+
 namespace locus {
 namespace search {
 
-std::optional<EvalOutcome> EvalCache::lookup(uint64_t VariantHash,
+CacheKey makeCacheKey(std::string_view VariantText) {
+  CacheKey Key;
+  Key.Lo = fnv1a(VariantText);
+  // Distinct offset basis (FNV-1a 64 offset with flipped low bits) gives an
+  // independent second stream over the same bytes; length-mixing separates
+  // prefix-related texts even if both streams ever coincided.
+  Key.Hi = hashCombine(fnv1a(VariantText, 0x84222325cbf29ce4ULL),
+                       static_cast<uint64_t>(VariantText.size()));
+  return Key;
+}
+
+std::optional<EvalOutcome> EvalCache::lookup(const CacheKey &Key,
                                              const std::string &PointKey) {
   std::lock_guard<std::mutex> L(M);
-  auto It = Map.find(VariantHash);
+  auto It = Map.find(Key);
   if (It == Map.end()) {
     ++Stats.Misses;
     return std::nullopt;
@@ -19,13 +32,19 @@ std::optional<EvalOutcome> EvalCache::lookup(uint64_t VariantHash,
   return It->second.Outcome;
 }
 
-void EvalCache::insert(uint64_t VariantHash, const std::string &PointKey,
+void EvalCache::insert(const CacheKey &Key, const std::string &PointKey,
                        const EvalOutcome &Outcome) {
+  (void)insertIfAbsent(Key, PointKey, Outcome);
+}
+
+bool EvalCache::insertIfAbsent(const CacheKey &Key, const std::string &PointKey,
+                               const EvalOutcome &Outcome) {
   std::lock_guard<std::mutex> L(M);
-  auto [It, Inserted] = Map.try_emplace(VariantHash, Entry{Outcome, PointKey});
+  auto [It, Inserted] = Map.try_emplace(Key, Entry{Outcome, PointKey});
   (void)It;
   if (Inserted)
     ++Stats.Entries;
+  return Inserted;
 }
 
 EvalCacheStats EvalCache::stats() const {

@@ -13,6 +13,14 @@
 /// memoization falls out for free: a duplicate point hashes to the same
 /// variant by construction.
 ///
+/// Keys are 128 bits — two independently-seeded FNV-1a halves, the second
+/// additionally mixed with the program-text length. A single 64-bit hash is
+/// fine for one run's few thousand variants, but entries now persist across
+/// runs and tenants (see PersistentEvalCache): at hundreds of millions of
+/// accumulated variants the 64-bit birthday bound makes a silent collision
+/// — one program served another's metric — a real event, while 128 bits
+/// keep it vanishingly improbable at any plausible store size.
+///
 /// The cache stores the first point key evaluated for each variant hash, so
 /// hits can be classified as same-point duplicates vs. genuine cross-point
 /// dedup saves.
@@ -27,10 +35,32 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 
 namespace locus {
 namespace search {
+
+/// 128-bit content key of a materialized variant.
+struct CacheKey {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+  bool operator==(const CacheKey &O) const { return Lo == O.Lo && Hi == O.Hi; }
+  bool operator!=(const CacheKey &O) const { return !(*this == O); }
+};
+
+/// Derives the 128-bit key from the unparsed variant text: two FNV-1a
+/// passes with distinct offset bases, the high half mixed with the text
+/// length so even a (hypothetical) simultaneous collision of both streams
+/// still separates different-sized programs.
+CacheKey makeCacheKey(std::string_view VariantText);
+
+struct CacheKeyHash {
+  size_t operator()(const CacheKey &K) const {
+    // Lo is already a high-quality 64-bit hash; fold in Hi cheaply.
+    return static_cast<size_t>(K.Lo ^ (K.Hi * 0x9e3779b97f4a7c15ULL));
+  }
+};
 
 /// Observability counters for the cache (all monotonic).
 struct EvalCacheStats {
@@ -42,22 +72,42 @@ struct EvalCacheStats {
   uint64_t Entries = 0;    ///< variants currently cached
 };
 
-/// Thread-safe content-addressed outcome cache.
-class EvalCache {
+/// The interface the driver's objective talks to: the plain in-memory cache
+/// and the persistent on-disk cache are interchangeable behind it.
+class VariantOutcomeCache {
 public:
-  /// Returns the cached outcome for a variant hash, or nullopt on a miss.
+  virtual ~VariantOutcomeCache() = default;
+
+  /// Returns the cached outcome for a variant key, or nullopt on a miss.
   /// \p PointKey (the canonical key of the point being assessed) is used
   /// only to classify a hit as a cross-point dedup save.
-  std::optional<EvalOutcome> lookup(uint64_t VariantHash,
-                                    const std::string &PointKey);
+  virtual std::optional<EvalOutcome> lookup(const CacheKey &Key,
+                                            const std::string &PointKey) = 0;
 
-  /// Records the outcome for a variant hash. The first writer wins; a
+  /// Records the outcome for a variant key. The first writer wins; a
   /// concurrent duplicate insert (two workers racing on the same variant)
   /// is dropped, keeping served outcomes consistent.
-  void insert(uint64_t VariantHash, const std::string &PointKey,
-              const EvalOutcome &Outcome);
+  virtual void insert(const CacheKey &Key, const std::string &PointKey,
+                      const EvalOutcome &Outcome) = 0;
 
-  EvalCacheStats stats() const;
+  virtual EvalCacheStats stats() const = 0;
+};
+
+/// Thread-safe content-addressed outcome cache (process-local).
+class EvalCache : public VariantOutcomeCache {
+public:
+  std::optional<EvalOutcome> lookup(const CacheKey &Key,
+                                    const std::string &PointKey) override;
+
+  void insert(const CacheKey &Key, const std::string &PointKey,
+              const EvalOutcome &Outcome) override;
+
+  /// insert() that reports whether the entry was new — the persistent layer
+  /// uses this to append exactly the entries that won the race.
+  bool insertIfAbsent(const CacheKey &Key, const std::string &PointKey,
+                      const EvalOutcome &Outcome);
+
+  EvalCacheStats stats() const override;
 
 private:
   struct Entry {
@@ -65,7 +115,7 @@ private:
     std::string FirstPointKey;
   };
   mutable std::mutex M;
-  std::unordered_map<uint64_t, Entry> Map;
+  std::unordered_map<CacheKey, Entry, CacheKeyHash> Map;
   EvalCacheStats Stats;
 };
 

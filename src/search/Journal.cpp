@@ -3,19 +3,20 @@
 #include "src/search/Journal.h"
 
 #include "src/search/PointCodec.h"
+#include "src/support/Hashing.h"
 
 #include <cctype>
+#include <cerrno>
 #include <charconv>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
-#if __has_include(<unistd.h>)
+#include <fcntl.h>
 #include <unistd.h>
-#define LOCUS_HAVE_FSYNC 1
-#endif
 
 namespace locus {
 namespace search {
@@ -143,6 +144,106 @@ bool parseJsonNumber(std::string_view Text, size_t &Pos, double &Out) {
   return true;
 }
 
+constexpr const char *HeaderTag = "locus-journal v2";
+
+std::string hex16(uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// What the file is, judged by its first bytes.
+enum class FileFormat {
+  Missing,   ///< ENOENT or empty
+  RecordLog, ///< starts with the RecordLog magic
+  LegacyJsonl, ///< starts with '{' — a v1 journal line
+  Unknown,
+};
+
+FileFormat sniffFormat(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return FileFormat::Missing;
+  char Buf[8] = {};
+  In.read(Buf, sizeof(Buf));
+  std::streamsize N = In.gcount();
+  if (N <= 0)
+    return FileFormat::Missing;
+  // A short prefix of the magic is still "record log" (a torn header file
+  // that RecordLog::open knows how to rebuild).
+  if (std::memcmp(Buf, "LOCRLOG1", static_cast<size_t>(N) < 8
+                                       ? static_cast<size_t>(N)
+                                       : 8) == 0)
+    return FileFormat::RecordLog;
+  if (Buf[0] == '{')
+    return FileFormat::LegacyJsonl;
+  return FileFormat::Unknown;
+}
+
+/// Atomically replaces \p Path with \p Image: temp file in the same
+/// directory, fsync, rename, fsync the directory. Used by the one-time
+/// v1 -> v2 migration so a crash leaves either the old journal or the new.
+Status writeFileAtomic(const std::string &Path, const std::string &Image) {
+  std::string Tmp = Path + ".migrate-tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (Fd < 0)
+    return Status::error("cannot create " + Tmp + ": " + std::strerror(errno));
+  size_t Done = 0;
+  while (Done < Image.size()) {
+    ssize_t N = ::write(Fd, Image.data() + Done, Image.size() - Done);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      break;
+    Done += static_cast<size_t>(N);
+  }
+  bool Ok = Done == Image.size() && ::fsync(Fd) == 0;
+  ::close(Fd);
+  if (!Ok) {
+    ::unlink(Tmp.c_str());
+    return Status::error("cannot write " + Tmp + ": " + std::strerror(errno));
+  }
+  if (::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    ::unlink(Tmp.c_str());
+    return Status::error("cannot rename " + Tmp + " over " + Path + ": " +
+                         std::strerror(errno));
+  }
+  size_t Slash = Path.find_last_of('/');
+  std::string Dir = Slash == std::string::npos
+                        ? "."
+                        : (Slash == 0 ? "/" : Path.substr(0, Slash));
+  int DirFd = ::open(Dir.c_str(), O_RDONLY | O_CLOEXEC);
+  if (DirFd >= 0) {
+    (void)::fsync(DirFd);
+    ::close(DirFd);
+  }
+  return Status::success();
+}
+
+/// Builds the single actionable --resume refusal for a header that does not
+/// match the current run. The header payload starts at byte 16 (magic 8 +
+/// length 4 + CRC 4) of the journal file.
+std::string headerMismatchError(const std::string &Path,
+                                const JournalHeader &OnDisk,
+                                const JournalHeader &Expect) {
+  if (OnDisk.SpaceFingerprint != Expect.SpaceFingerprint)
+    return "journal " + Path +
+           " was written for a different search space (journal header at "
+           "byte 16 has space fingerprint 0x" +
+           hex16(OnDisk.SpaceFingerprint) + ", this run's space is 0x" +
+           hex16(Expect.SpaceFingerprint) +
+           "): resuming would replay points into the wrong space; remove "
+           "the journal or rerun with the original program";
+  return "journal " + Path +
+         " was written by a different search configuration (journal header "
+         "at byte 16 has config digest 0x" +
+         hex16(OnDisk.ConfigDigest) + ", this run's is 0x" +
+         hex16(Expect.ConfigDigest) +
+         "): searcher or seed changed since the journal was written; remove "
+         "the journal or rerun with the original --searcher/--seed";
+}
+
 } // namespace
 
 JournalSync parseJournalSync(std::string_view Name, bool &Ok) {
@@ -157,48 +258,97 @@ JournalSync parseJournalSync(std::string_view Name, bool &Ok) {
   return JournalSync::Full;
 }
 
-Expected<SearchJournal> SearchJournal::open(const std::string &Path,
-                                            JournalSync Sync) {
-  std::FILE *F = std::fopen(Path.c_str(), "ab");
-  if (!F)
-    return Expected<SearchJournal>::error("cannot open journal for append: " +
-                                          Path);
+uint64_t journalConfigDigest(std::string_view SearcherName, uint64_t Seed) {
+  return hashCombine(fnv1a(SearcherName), Seed);
+}
+
+std::string SearchJournal::encodeHeader(const JournalHeader &H) {
+  std::string Out = HeaderTag;
+  Out += "\nspace=";
+  Out += hex16(H.SpaceFingerprint);
+  Out += "\nconfig=";
+  Out += hex16(H.ConfigDigest);
+  Out += '\n';
+  return Out;
+}
+
+bool SearchJournal::parseHeader(std::string_view Text, JournalHeader &H) {
+  H = JournalHeader{};
+  auto TakeLine = [&Text]() -> std::string_view {
+    size_t Nl = Text.find('\n');
+    std::string_view Line = Text.substr(0, Nl);
+    Text = Nl == std::string_view::npos ? std::string_view()
+                                        : Text.substr(Nl + 1);
+    return Line;
+  };
+  if (TakeLine() != HeaderTag)
+    return false;
+  auto ParseField = [&TakeLine](std::string_view Name, uint64_t &Out) {
+    std::string_view Line = TakeLine();
+    if (Line.substr(0, Name.size()) != Name)
+      return false;
+    std::string_view Hex = Line.substr(Name.size());
+    auto [Ptr, Ec] = std::from_chars(Hex.data(), Hex.data() + Hex.size(), Out,
+                                     16);
+    return Ec == std::errc() && Ptr == Hex.data() + Hex.size();
+  };
+  return ParseField("space=", H.SpaceFingerprint) &&
+         ParseField("config=", H.ConfigDigest);
+}
+
+Expected<SearchJournal>
+SearchJournal::open(const std::string &Path, JournalSync Sync,
+                    const JournalHeader &Header,
+                    const std::vector<EvalRecord> *MigrateRecords) {
+  FileFormat Format = sniffFormat(Path);
+  if (Format == FileFormat::LegacyJsonl) {
+    if (!MigrateRecords)
+      return Expected<SearchJournal>::error(
+          "journal " + Path +
+          " is in the legacy v1 (JSONL) format; resume from it (which "
+          "migrates it to the checksummed v2 format) or remove it");
+    // One-time migration: rewrite the whole journal in v2 framing with the
+    // records the caller already loaded, atomically.
+    std::string Image =
+        support::RecordLog::encodeHeaderBlock(encodeHeader(Header));
+    for (const EvalRecord &R : *MigrateRecords)
+      Image += support::RecordLog::encodeFrame(encodeLine(R));
+    if (Status S = writeFileAtomic(Path, Image); !S.ok())
+      return Expected<SearchJournal>::error("cannot migrate legacy journal: " +
+                                            S.message());
+  }
+
+  support::RecordLogOptions Opts;
+  Opts.Header = encodeHeader(Header);
+  // Compared structurally below for located diagnostics, not byte-wise.
+  Opts.RequireHeaderMatch = false;
+  Opts.FsyncEachRecord = Sync == JournalSync::Full;
+  support::RecordLogScan Recovery;
+  Expected<support::RecordLog> Log =
+      support::RecordLog::open(Path, Opts, &Recovery);
+  if (!Log.ok())
+    return Expected<SearchJournal>::error("cannot open journal: " +
+                                          Log.message());
+  if (!Recovery.Header.empty()) {
+    JournalHeader OnDisk;
+    if (!SearchJournal::parseHeader(Recovery.Header, OnDisk))
+      return Expected<SearchJournal>::error(
+          "journal " + Path +
+          " has an unrecognized header (written by an incompatible "
+          "version?); remove it to start fresh");
+    if (!(OnDisk == Header))
+      return Expected<SearchJournal>::error(
+          headerMismatchError(Path, OnDisk, Header));
+  }
   SearchJournal J;
-  J.Stream = F;
-  J.Sync = Sync;
+  J.Log = std::move(*Log);
   return J;
 }
 
-void SearchJournal::close() {
-  if (Stream) {
-    std::fclose(Stream);
-    Stream = nullptr;
-  }
-}
-
 Status SearchJournal::append(const EvalRecord &R) {
-  std::string Line = encodeLine(R);
-  Line += '\n';
-  std::lock_guard<std::mutex> Lock(*AppendMutex);
-  if (!Stream)
+  if (!Log.isOpen())
     return Status::error("journal is not open");
-  if (std::fwrite(Line.data(), 1, Line.size(), Stream) != Line.size())
-    return Status::error("short write to journal");
-  if (Sync == JournalSync::None)
-    return Status::success();
-  if (std::fflush(Stream) != 0)
-    return Status::error("cannot flush journal");
-  if (Sync == JournalSync::Full) {
-#if LOCUS_HAVE_FSYNC
-    // Crash safety: fflush only moves the record into the kernel's page
-    // cache — a machine crash between flush and writeback can still tear
-    // the tail. fd-level fsync forces the record to stable storage before
-    // the search spends more budget on its successors.
-    if (fsync(fileno(Stream)) != 0)
-      return Status::error("cannot fsync journal");
-#endif
-  }
-  return Status::success();
+  return Log.append(encodeLine(R));
 }
 
 std::string SearchJournal::encodeLine(const EvalRecord &R) {
@@ -290,11 +440,74 @@ Expected<EvalRecord> SearchJournal::decodeLine(const std::string &Line,
 }
 
 Expected<SearchJournal::LoadResult>
-SearchJournal::load(const std::string &Path, const Space &S) {
+SearchJournal::load(const std::string &Path, const Space &S,
+                    const JournalHeader *Expect) {
   LoadResult Result;
+  FileFormat Format = sniffFormat(Path);
+  if (Format == FileFormat::Missing)
+    return Result; // a missing journal is an empty journal
+
+  if (Format == FileFormat::Unknown)
+    return Expected<LoadResult>::error(
+        "journal " + Path +
+        ": bad magic at byte 0 — neither a v2 record log nor a v1 JSONL "
+        "journal; was the path overwritten by another tool?");
+
+  if (Format == FileFormat::RecordLog) {
+    Expected<support::RecordLogScan> ScanOr = support::RecordLog::scan(Path);
+    if (!ScanOr.ok())
+      return Expected<LoadResult>::error("cannot load journal: " +
+                                         ScanOr.message());
+    support::RecordLogScan Scan = std::move(*ScanOr);
+    if (Scan.MidFileCorruption)
+      // Damage with intact records after it: silently resuming from the
+      // prefix would replay a different (shorter) history than the run that
+      // wrote the journal actually took. Refuse, with the location.
+      return Expected<LoadResult>::error(
+          "corrupt journal " + Path + ": " + Scan.Why +
+          "; records after the damage cannot be trusted — remove the "
+          "journal (or restore it from a copy) to proceed");
+    if (!Scan.Header.empty()) {
+      if (!parseHeader(Scan.Header, Result.Header))
+        return Expected<LoadResult>::error(
+            "journal " + Path +
+            " has an unrecognized header (written by an incompatible "
+            "version?); remove it to start fresh");
+      if (Expect && !(Result.Header == *Expect))
+        return Expected<LoadResult>::error(
+            headerMismatchError(Path, Result.Header, *Expect));
+    } else if (!Scan.TornTail) {
+      return Expected<LoadResult>::error(
+          "journal " + Path + " has an empty header; remove it to start "
+          "fresh");
+    }
+    if (Scan.TornTail) {
+      Result.DroppedTailLines = 1;
+      Result.Warning = "recovered journal " + Path + ": " + Scan.Why +
+                       "; dropped the record being written when the run "
+                       "died and kept " +
+                       std::to_string(Scan.Records.size()) +
+                       " intact records";
+    }
+    for (size_t I = 0; I < Scan.Records.size(); ++I) {
+      Expected<EvalRecord> R = decodeLine(Scan.Records[I], S);
+      if (!R.ok())
+        // The frame's CRC is intact, so this is not disk damage: the
+        // journal belongs to another space or another version.
+        return Expected<LoadResult>::error(
+            "corrupt journal line: record " + std::to_string(I + 1) + " of " +
+            Path + ": " + R.message());
+      Result.Records.push_back(std::move(*R));
+    }
+    return Result;
+  }
+
+  // Legacy v1: plain JSONL, no header, no checksums. Loaded for migration;
+  // the space-membership validation in decodeLine is the only check.
+  Result.Legacy = true;
   std::ifstream In(Path, std::ios::binary);
   if (!In)
-    return Result; // a missing journal is an empty journal
+    return Expected<LoadResult>::error("cannot read journal " + Path);
   std::ostringstream Buf;
   Buf << In.rdbuf();
   std::string Text = Buf.str();
@@ -315,6 +528,8 @@ SearchJournal::load(const std::string &Path, const Space &S) {
       // lines (including points from a different space) are real errors.
       if (TornTail) {
         Result.DroppedTailLines = 1;
+        Result.Warning = "recovered legacy journal " + Path +
+                         ": dropped a torn final line";
         break;
       }
       return Expected<LoadResult>::error("corrupt journal line: " +

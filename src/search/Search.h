@@ -215,6 +215,13 @@ struct SearchResult {
   uint64_t CacheDedupSaves = 0; ///< distinct points that materialized to an
                                 ///< already-evaluated variant
 
+  // Persistent-cache counters (filled by the driver when --cache-dir is
+  // set; see search::PersistentEvalCache).
+  uint64_t CacheLoadedPersistent = 0; ///< entries preloaded from the store
+  uint64_t CachePersistedAppends = 0; ///< entries this run appended to it
+  uint64_t CacheWarnings = 0;         ///< store I/O/format problems surfaced
+  bool CacheDegraded = false;         ///< persistence disabled after an error
+
   int failures(FailureKind K) const {
     return FailureCounts[static_cast<size_t>(K)];
   }

@@ -2,6 +2,7 @@
 
 #include "src/search/Space.h"
 
+#include "src/support/Hashing.h"
 #include "src/support/StringUtils.h"
 
 #include <cassert>
@@ -137,6 +138,34 @@ uint64_t Space::valueSize() const {
     Size = saturatingMul(Size, P.cardinality());
   }
   return Size;
+}
+
+uint64_t Space::fingerprint() const {
+  // Field separators (the 0x1f units below) keep adjacent strings from
+  // concatenating into the same byte stream ("ab","c" vs "a","bc").
+  uint64_t H = fnv1a("locus-space-v1");
+  auto MixStr = [&H](const std::string &S) {
+    H = hashCombine(H, fnv1a(S));
+    H = hashCombine(H, 0x1f);
+  };
+  auto MixInt = [&H](uint64_t V) { H = hashCombine(H, V); };
+  MixInt(Params.size());
+  for (const ParamDef &P : Params) {
+    MixStr(P.Id);
+    MixStr(P.Label);
+    MixInt(static_cast<uint64_t>(P.Kind));
+    MixInt(P.Options.size());
+    for (const std::string &O : P.Options)
+      MixStr(O);
+    MixInt(static_cast<uint64_t>(P.Min));
+    MixInt(static_cast<uint64_t>(P.Max));
+    MixInt(fnv1a(std::to_string(P.FMin)));
+    MixInt(fnv1a(std::to_string(P.FMax)));
+    MixInt(static_cast<uint64_t>(P.PermSize));
+    MixStr(P.DependsOnMaxParam);
+    MixStr(P.DependsOnMinParam);
+  }
+  return H;
 }
 
 std::string Space::describe() const {

@@ -89,6 +89,13 @@ struct Space {
 
   /// Renders a human-readable summary.
   std::string describe() const;
+
+  /// Canonical 64-bit fingerprint of the space definition: every ParamDef
+  /// field, in declaration order, feeds the hash. Two extractions of the
+  /// same program produce the same fingerprint; any structural change —
+  /// parameter added, bound widened, option renamed — changes it. Stored in
+  /// journal headers so --resume can refuse a journal from another space.
+  uint64_t fingerprint() const;
 };
 
 } // namespace search

@@ -1,0 +1,230 @@
+//===- CrashTortureTest.cpp - Kill a real search mid-write, then resume -------===//
+//
+// The end-to-end durability proof: a real orchestrator search process
+// (tests/helpers/search_crash_victim.cpp) is SIGKILLed in the middle of
+// journal/cache appends at injected points (LOCUS_RECORDLOG_CRASH_AT, armed
+// inside the victim via --crash-at), and after every crash a --resume run
+// must converge on exactly the BEST point, metric, and journal trajectory
+// of the run that was never interrupted. Plus the other ways durable state
+// dies in the field: flipped bytes (resume refuses with a located error),
+// disk full (RLIMIT_FSIZE; the store amputates and the search still
+// finishes), and concurrent processes sharing one cache directory.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/search/PersistentEvalCache.h"
+#include "src/support/RecordLog.h"
+#include "src/support/Subprocess.h"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace locus {
+namespace {
+
+using support::RecordLog;
+using support::SubprocessOptions;
+using support::SubprocessResult;
+
+SubprocessResult runVictim(std::vector<std::string> Args,
+                           long FileSizeBytes = 0) {
+  SubprocessOptions Opts;
+  Opts.Argv.push_back(LOCUS_SEARCH_VICTIM);
+  for (std::string &A : Args)
+    Opts.Argv.push_back(std::move(A));
+  Opts.Limits.WallClockSeconds = 120;
+  Opts.Limits.FileSizeBytes = FileSizeBytes;
+  return support::runSubprocess(Opts);
+}
+
+/// The value of the "TAG ..." line of a victim's summary output.
+std::string summaryLine(const std::string &Stdout, const std::string &Tag) {
+  std::istringstream In(Stdout);
+  std::string Line;
+  while (std::getline(In, Line))
+    if (Line.compare(0, Tag.size() + 1, Tag + " ") == 0)
+      return Line.substr(Tag.size() + 1);
+  return "";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+TEST(CrashTorture, ResumeAfterMidWriteKillsMatchesUninterruptedRun) {
+  support::TempDir Dir("locus-torture-");
+  ASSERT_TRUE(Dir.valid());
+
+  // The reference: one uninterrupted run.
+  std::string RefJournal = Dir.path() + "/ref.rlog";
+  SubprocessResult Ref = runVictim({"--journal", RefJournal, "--cache-dir",
+                                    Dir.path() + "/refcache"});
+  ASSERT_TRUE(Ref.ok()) << Ref.describe() << "\n" << Ref.Stderr;
+  std::string WantBest = summaryLine(Ref.Stdout, "BEST");
+  std::string WantMetric = summaryLine(Ref.Stdout, "METRIC");
+  ASSERT_FALSE(WantBest.empty());
+  ASSERT_FALSE(WantMetric.empty());
+
+  // The torture subject: SIGKILLed mid-append at scattered points — counted
+  // process-wide across the journal AND the cache store, so both logs take
+  // torn-tail hits — with varying partial-frame sizes (half a frame, one
+  // byte, a zero-byte cut right at the boundary).
+  std::string Journal = Dir.path() + "/torture.rlog";
+  std::string CacheDir = Dir.path() + "/torturecache";
+  const char *CrashAt[] = {"2", "5:1", "9:0", "14", "21:2"};
+  int Crashes = 0;
+  for (const char *Spec : CrashAt) {
+    SubprocessResult R = runVictim({"--journal", Journal, "--resume",
+                                    "--cache-dir", CacheDir, "--crash-at",
+                                    Spec});
+    if (R.ok())
+      break; // the append counter outran the remaining work; done early
+    ASSERT_EQ(R.Exit, support::SpawnExit::Signaled) << R.describe();
+    ASSERT_EQ(R.Signal, SIGKILL) << R.describe();
+    ++Crashes;
+  }
+  ASSERT_GT(Crashes, 0) << "no injected crash fired; the torture ran idle";
+
+  // After every crash: one clean resume must finish the search and land on
+  // the reference result exactly.
+  SubprocessResult Final = runVictim({"--journal", Journal, "--resume",
+                                      "--cache-dir", CacheDir});
+  ASSERT_TRUE(Final.ok()) << Final.describe() << "\n" << Final.Stderr;
+  EXPECT_EQ(summaryLine(Final.Stdout, "BEST"), WantBest);
+  EXPECT_EQ(summaryLine(Final.Stdout, "METRIC"), WantMetric);
+  // The crashed attempts left warm durable state behind: the final run
+  // replayed journal records instead of starting from evaluation zero.
+  std::string Evals = summaryLine(Final.Stdout, "EVALS");
+  EXPECT_NE(Evals.find("REPLAYED"), std::string::npos);
+  EXPECT_EQ(Evals.find("REPLAYED 0"), std::string::npos)
+      << "resume replayed nothing: " << Evals;
+
+  // Trajectory equivalence, not just the endpoint: the recovered journal
+  // must contain byte-for-byte the same record sequence the uninterrupted
+  // run wrote (torn tails re-evaluated and re-appended identically).
+  auto RefScan = RecordLog::scan(RefJournal);
+  auto TortScan = RecordLog::scan(Journal);
+  ASSERT_TRUE(RefScan.ok()) << RefScan.message();
+  ASSERT_TRUE(TortScan.ok()) << TortScan.message();
+  EXPECT_FALSE(TortScan->TornTail) << TortScan->Why;
+  EXPECT_EQ(TortScan->Records, RefScan->Records);
+
+  // And the shared cache store survived every kill mid-append.
+  auto CacheScan =
+      RecordLog::scan(search::PersistentEvalCache::storePath(CacheDir));
+  ASSERT_TRUE(CacheScan.ok()) << CacheScan.message();
+}
+
+TEST(CrashTorture, FlippedByteMakesResumeALocatedHardError) {
+  support::TempDir Dir("locus-torture-");
+  std::string Journal = Dir.path() + "/j.rlog";
+  SubprocessResult First = runVictim({"--journal", Journal});
+  ASSERT_TRUE(First.ok()) << First.Stderr;
+
+  // Bit rot in the middle of the journal — not the tearing a crash leaves.
+  std::string Image = readFile(Journal);
+  auto Scan = RecordLog::scan(Journal);
+  ASSERT_TRUE(Scan.ok());
+  ASSERT_GE(Scan->Records.size(), 2u);
+  uint64_t FirstFrame = RecordLog::headerBlockSize(Scan->Header.size());
+  Image[FirstFrame + 8 + 2] ^= 0x20; // payload byte of record 0
+  std::ofstream(Journal, std::ios::binary | std::ios::trunc) << Image;
+
+  SubprocessResult Resumed = runVictim({"--journal", Journal, "--resume"});
+  EXPECT_EQ(Resumed.Exit, support::SpawnExit::Exited);
+  EXPECT_NE(Resumed.ExitCode, 0);
+  EXPECT_NE(Resumed.Stderr.find("cannot resume from journal"),
+            std::string::npos)
+      << Resumed.Stderr;
+  EXPECT_NE(Resumed.Stderr.find("CRC mismatch at byte " +
+                                std::to_string(FirstFrame)),
+            std::string::npos)
+      << Resumed.Stderr;
+}
+
+TEST(CrashTorture, DiskFullDegradesStoresButNeverTheSearch) {
+  if (!support::rlimitsSupported())
+    GTEST_SKIP() << "setrlimit unavailable";
+  support::TempDir Dir("locus-torture-");
+  std::string Journal = Dir.path() + "/j.rlog";
+  std::string CacheDir = Dir.path() + "/cache";
+
+  // 4 KiB per file: the journal and the cache store both run out mid-run
+  // (the victim ignores SIGXFSZ, so appends fail with EFBIG instead of
+  // killing the process). The search itself must still complete.
+  SubprocessResult R = runVictim({"--journal", Journal, "--cache-dir",
+                                  CacheDir},
+                                 /*FileSizeBytes=*/4096);
+  ASSERT_TRUE(R.ok()) << R.describe() << "\n" << R.Stderr;
+  EXPECT_FALSE(summaryLine(R.Stdout, "BEST").empty());
+
+  // Partial frames were amputated: both stores scan clean, just short.
+  auto JScan = RecordLog::scan(Journal);
+  ASSERT_TRUE(JScan.ok()) << JScan.message();
+  EXPECT_FALSE(JScan->TornTail) << JScan->Why;
+  auto CScan = RecordLog::scan(search::PersistentEvalCache::storePath(CacheDir));
+  ASSERT_TRUE(CScan.ok()) << CScan.message();
+  EXPECT_FALSE(CScan->TornTail) << CScan->Why;
+
+  // Whatever made it to disk is a valid warm start.
+  SubprocessResult Again = runVictim({"--journal", Journal, "--resume",
+                                      "--cache-dir", CacheDir});
+  ASSERT_TRUE(Again.ok()) << Again.Stderr;
+}
+
+TEST(CrashTorture, ConcurrentProcessesShareOneCacheDirSafely) {
+  support::TempDir Dir("locus-torture-");
+  std::string CacheDir = Dir.path() + "/shared";
+
+  // Warm the store once.
+  SubprocessResult Seed =
+      runVictim({"--journal", Dir.path() + "/seed.rlog", "--cache-dir",
+                 CacheDir});
+  ASSERT_TRUE(Seed.ok()) << Seed.Stderr;
+  std::string SeedCache = summaryLine(Seed.Stdout, "CACHE");
+  EXPECT_NE(SeedCache.find("loaded=0"), std::string::npos) << SeedCache;
+  EXPECT_EQ(SeedCache.find("appended=0"), std::string::npos) << SeedCache;
+
+  // Two orchestrator processes race on the same directory.
+  SubprocessResult A, B;
+  std::thread TA([&] {
+    A = runVictim({"--journal", Dir.path() + "/a.rlog", "--cache-dir",
+                   CacheDir});
+  });
+  std::thread TB([&] {
+    B = runVictim({"--journal", Dir.path() + "/b.rlog", "--cache-dir",
+                   CacheDir});
+  });
+  TA.join();
+  TB.join();
+  ASSERT_TRUE(A.ok()) << A.describe() << "\n" << A.Stderr;
+  ASSERT_TRUE(B.ok()) << B.describe() << "\n" << B.Stderr;
+
+  // Both started warm from the seeded store and served real hits from it.
+  for (const SubprocessResult *R : {&A, &B}) {
+    std::string Cache = summaryLine(R->Stdout, "CACHE");
+    EXPECT_EQ(Cache.find("loaded=0"), std::string::npos) << Cache;
+    EXPECT_EQ(Cache.find("hits=0 "), std::string::npos) << Cache;
+    EXPECT_NE(Cache.find("degraded=0"), std::string::npos) << Cache;
+    // Same workload, warm store: the result matches the seeding run.
+    EXPECT_EQ(summaryLine(R->Stdout, "BEST"),
+              summaryLine(Seed.Stdout, "BEST"));
+  }
+
+  // The store is still fully intact after concurrent writers.
+  auto Scan = RecordLog::scan(search::PersistentEvalCache::storePath(CacheDir));
+  ASSERT_TRUE(Scan.ok()) << Scan.message();
+  EXPECT_FALSE(Scan->TornTail) << Scan->Why;
+}
+
+} // namespace
+} // namespace locus

@@ -22,6 +22,9 @@ namespace {
 
 using namespace search;
 
+/// Expands a small test id into a full 128-bit cache key.
+CacheKey k(uint64_t V) { return CacheKey{V, ~V}; }
+
 //===----------------------------------------------------------------------===//
 // EvalPool
 //===----------------------------------------------------------------------===//
@@ -73,18 +76,31 @@ TEST(EvalPool, SleepingJobsOverlap) {
 // EvalCache
 //===----------------------------------------------------------------------===//
 
+TEST(EvalCache, MakeCacheKeyIsDeterministicAndContentSensitive) {
+  CacheKey A = makeCacheKey("for i { a[i] = 0 }");
+  EXPECT_EQ(A, makeCacheKey("for i { a[i] = 0 }"));
+  EXPECT_NE(A, makeCacheKey("for i { a[i] = 1 }"));
+  // The halves come from independently-seeded streams; if they ever agreed
+  // the key would silently degenerate to 64 bits.
+  EXPECT_NE(A.Lo, A.Hi);
+  // An embedded NUL is content like any other byte (keys hash raw program
+  // text, not C strings).
+  EXPECT_NE(makeCacheKey(std::string_view("x", 1)),
+            makeCacheKey(std::string_view("x\0", 2)));
+}
+
 TEST(EvalCache, HitMissAndDedupAccounting) {
   EvalCache Cache;
-  EXPECT_FALSE(Cache.lookup(1, "p1").has_value());
-  Cache.insert(1, "p1", EvalOutcome::success(10.0));
+  EXPECT_FALSE(Cache.lookup(k(1), "p1").has_value());
+  Cache.insert(k(1), "p1", EvalOutcome::success(10.0));
 
   // Same point, same variant: a hit but not a cross-point dedup save.
-  auto Hit = Cache.lookup(1, "p1");
+  auto Hit = Cache.lookup(k(1), "p1");
   ASSERT_TRUE(Hit.has_value());
   EXPECT_DOUBLE_EQ(Hit->Metric, 10.0);
 
   // A distinct point whose variant hashes the same: a dedup save.
-  auto Dedup = Cache.lookup(1, "p2");
+  auto Dedup = Cache.lookup(k(1), "p2");
   ASSERT_TRUE(Dedup.has_value());
   EXPECT_DOUBLE_EQ(Dedup->Metric, 10.0);
 
@@ -97,8 +113,8 @@ TEST(EvalCache, HitMissAndDedupAccounting) {
 
 TEST(EvalCache, CachesClassifiedFailures) {
   EvalCache Cache;
-  Cache.insert(7, "p", EvalOutcome::fail(FailureKind::RuntimeTrap, "oob"));
-  auto Hit = Cache.lookup(7, "p");
+  Cache.insert(k(7), "p", EvalOutcome::fail(FailureKind::RuntimeTrap, "oob"));
+  auto Hit = Cache.lookup(k(7), "p");
   ASSERT_TRUE(Hit.has_value());
   EXPECT_EQ(Hit->Failure, FailureKind::RuntimeTrap);
   EXPECT_EQ(Hit->Detail, "oob");
@@ -106,9 +122,9 @@ TEST(EvalCache, CachesClassifiedFailures) {
 
 TEST(EvalCache, FirstWriterWins) {
   EvalCache Cache;
-  Cache.insert(3, "p1", EvalOutcome::success(1.0));
-  Cache.insert(3, "p2", EvalOutcome::success(2.0)); // racing duplicate
-  auto Hit = Cache.lookup(3, "p3");
+  Cache.insert(k(3), "p1", EvalOutcome::success(1.0));
+  Cache.insert(k(3), "p2", EvalOutcome::success(2.0)); // racing duplicate
+  auto Hit = Cache.lookup(k(3), "p3");
   ASSERT_TRUE(Hit.has_value());
   EXPECT_DOUBLE_EQ(Hit->Metric, 1.0);
   EXPECT_EQ(Cache.stats().Entries, 1u);
@@ -121,15 +137,15 @@ TEST(EvalCache, ConcurrentUseIsConsistent) {
   Pool.run(N, [&](size_t I) {
     uint64_t Hash = I % 16;
     std::string Key = "p" + std::to_string(I);
-    if (!Cache.lookup(Hash, Key))
-      Cache.insert(Hash, Key, EvalOutcome::success(static_cast<double>(Hash)));
+    if (!Cache.lookup(k(Hash), Key))
+      Cache.insert(k(Hash), Key, EvalOutcome::success(static_cast<double>(Hash)));
   });
   EvalCacheStats S = Cache.stats();
   EXPECT_EQ(S.Hits + S.Misses, N);
   EXPECT_EQ(S.Entries, 16u);
   // Every served outcome is the first-written one for its hash.
   for (uint64_t H = 0; H < 16; ++H) {
-    auto Hit = Cache.lookup(H, "check");
+    auto Hit = Cache.lookup(k(H), "check");
     ASSERT_TRUE(Hit.has_value());
     EXPECT_DOUBLE_EQ(Hit->Metric, static_cast<double>(H));
   }

@@ -5,6 +5,7 @@
 #include "src/search/Journal.h"
 #include "src/search/PointCodec.h"
 #include "src/search/Search.h"
+#include "src/support/RecordLog.h"
 #include "src/workloads/Workloads.h"
 
 #include "src/cir/Parser.h"
@@ -258,14 +259,18 @@ TEST(Journal, TruncatedLastLineIsDropped) {
     ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
     ASSERT_TRUE(J->append(makeRecord(4, 2, 30, FailureKind::None)).ok());
   }
-  // Simulate a crash mid-append: a torn line with no terminating newline.
+  // Simulate a crash mid-append: a prefix of a valid frame, cut short
+  // exactly as a dying writer leaves it.
   {
+    std::string Frame = support::RecordLog::encodeFrame(
+        SearchJournal::encodeLine(makeRecord(8, 1, 20, FailureKind::None)));
     std::ofstream Out(F.Path, std::ios::app | std::ios::binary);
-    Out << "{\"point\":\"a = i:8\\nb = i:1\\n\",\"met";
+    Out.write(Frame.data(), static_cast<std::streamsize>(Frame.size() / 2));
   }
   auto Loaded = SearchJournal::load(F.Path, S);
   ASSERT_TRUE(Loaded.ok()) << Loaded.message();
   EXPECT_EQ(Loaded->DroppedTailLines, 1);
+  EXPECT_NE(Loaded->Warning.find("torn"), std::string::npos);
   ASSERT_EQ(Loaded->Records.size(), 2u);
 }
 
@@ -307,6 +312,177 @@ TEST(Journal, JournalFromDifferentSpaceIsAnError) {
 }
 
 //===----------------------------------------------------------------------===//
+// v2 header: fingerprints, located diagnostics, legacy migration
+//===----------------------------------------------------------------------===//
+
+TEST(Journal, HeaderRoundTrip) {
+  JournalHeader H;
+  H.SpaceFingerprint = 0x0123456789abcdefULL;
+  H.ConfigDigest = 0xfedcba9876543210ULL;
+  JournalHeader Back;
+  ASSERT_TRUE(SearchJournal::parseHeader(SearchJournal::encodeHeader(H), Back));
+  EXPECT_TRUE(Back == H);
+  EXPECT_FALSE(SearchJournal::parseHeader("locus-journal v1\n", Back));
+  EXPECT_FALSE(SearchJournal::parseHeader("", Back));
+}
+
+TEST(Journal, SpaceFingerprintIsStableAndStructureSensitive) {
+  Space S = smallSpace();
+  EXPECT_EQ(S.fingerprint(), smallSpace().fingerprint());
+  Space Widened = smallSpace();
+  Widened.Params[1].Max = 31; // b: 0..15 -> 0..31
+  EXPECT_NE(S.fingerprint(), Widened.fingerprint());
+  Space Renamed = smallSpace();
+  Renamed.Params[0].Id = "a2";
+  EXPECT_NE(S.fingerprint(), Renamed.fingerprint());
+}
+
+TEST(Journal, MismatchedSpaceFingerprintIsRefusedWithLocation) {
+  Space S = smallSpace();
+  TempFile F("journal_hdr_space.rlog");
+  JournalHeader Written;
+  Written.SpaceFingerprint = S.fingerprint();
+  Written.ConfigDigest = journalConfigDigest("bandit", 42);
+  {
+    auto J = SearchJournal::open(F.Path, JournalSync::Full, Written);
+    ASSERT_TRUE(J.ok()) << J.message();
+    ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
+  }
+  JournalHeader Expect = Written;
+  Expect.SpaceFingerprint ^= 1;
+  auto Loaded = SearchJournal::load(F.Path, S, &Expect);
+  ASSERT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.message().find("different search space"), std::string::npos)
+      << Loaded.message();
+  EXPECT_NE(Loaded.message().find("byte 16"), std::string::npos)
+      << Loaded.message();
+  // Reopening for append is refused the same way.
+  auto Reopen = SearchJournal::open(F.Path, JournalSync::Full, Expect);
+  ASSERT_FALSE(Reopen.ok());
+  EXPECT_NE(Reopen.message().find("different search space"),
+            std::string::npos);
+}
+
+TEST(Journal, MismatchedConfigDigestIsRefused) {
+  Space S = smallSpace();
+  TempFile F("journal_hdr_config.rlog");
+  JournalHeader Written;
+  Written.SpaceFingerprint = S.fingerprint();
+  Written.ConfigDigest = journalConfigDigest("bandit", 42);
+  {
+    auto J = SearchJournal::open(F.Path, JournalSync::Full, Written);
+    ASSERT_TRUE(J.ok()) << J.message();
+  }
+  JournalHeader Expect = Written;
+  Expect.ConfigDigest = journalConfigDigest("tpe", 42);
+  ASSERT_NE(Expect.ConfigDigest, Written.ConfigDigest);
+  auto Loaded = SearchJournal::load(F.Path, S, &Expect);
+  ASSERT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.message().find("different search configuration"),
+            std::string::npos)
+      << Loaded.message();
+  // A matching header loads fine.
+  auto Ok = SearchJournal::load(F.Path, S, &Written);
+  EXPECT_TRUE(Ok.ok()) << Ok.message();
+}
+
+TEST(Journal, ConfigDigestSeparatesSearcherAndSeed) {
+  uint64_t D = journalConfigDigest("bandit", 42);
+  EXPECT_EQ(D, journalConfigDigest("bandit", 42));
+  EXPECT_NE(D, journalConfigDigest("bandit", 43));
+  EXPECT_NE(D, journalConfigDigest("random", 42));
+}
+
+TEST(Journal, FlippedByteBeforeTailIsALocatedError) {
+  Space S = smallSpace();
+  TempFile F("journal_bitrot.rlog");
+  {
+    auto J = SearchJournal::open(F.Path);
+    ASSERT_TRUE(J.ok());
+    ASSERT_TRUE(J->append(makeRecord(16, 7, 10, FailureKind::None)).ok());
+    ASSERT_TRUE(J->append(makeRecord(8, 3, 20, FailureKind::None)).ok());
+    ASSERT_TRUE(J->append(makeRecord(4, 1, 30, FailureKind::None)).ok());
+  }
+  // Flip one payload byte in the middle record.
+  auto Scan = support::RecordLog::scan(F.Path);
+  ASSERT_TRUE(Scan.ok());
+  std::string Image = support::RecordLog::encodeHeaderBlock(Scan->Header);
+  uint64_t FlipAt = 0;
+  for (size_t I = 0; I < Scan->Records.size(); ++I) {
+    if (I == 1)
+      FlipAt = Image.size(); // offset of the frame we damage
+    Image += support::RecordLog::encodeFrame(Scan->Records[I]);
+  }
+  Image[FlipAt + 8 + 2] ^= 0x40; // a payload byte of record 2
+  {
+    std::ofstream Out(F.Path, std::ios::trunc | std::ios::binary);
+    Out << Image;
+  }
+  auto Loaded = SearchJournal::load(F.Path, S);
+  ASSERT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.message().find("CRC mismatch at byte " +
+                                  std::to_string(FlipAt)),
+            std::string::npos)
+      << Loaded.message();
+  EXPECT_NE(Loaded.message().find("remove the journal"), std::string::npos);
+}
+
+TEST(Journal, LegacyJsonlLoadsAndOpenMigratesToV2) {
+  Space S = smallSpace();
+  TempFile F("journal_legacy.jsonl");
+  {
+    // A v1 journal: plain JSONL, no header, no checksums.
+    std::ofstream Out(F.Path, std::ios::binary);
+    Out << SearchJournal::encodeLine(makeRecord(16, 7, 10, FailureKind::None))
+        << "\n";
+    Out << SearchJournal::encodeLine(makeRecord(8, 3, 20, FailureKind::None))
+        << "\n";
+  }
+  JournalHeader H;
+  H.SpaceFingerprint = S.fingerprint();
+
+  // Opening for append without the loaded records is refused (appending v2
+  // frames to a JSONL file would corrupt both formats)...
+  auto Refused = SearchJournal::open(F.Path, JournalSync::Full, H);
+  ASSERT_FALSE(Refused.ok());
+  EXPECT_NE(Refused.message().find("legacy"), std::string::npos);
+
+  // ...but load() understands v1 and open() migrates with its records.
+  auto Loaded = SearchJournal::load(F.Path, S, &H);
+  ASSERT_TRUE(Loaded.ok()) << Loaded.message();
+  EXPECT_TRUE(Loaded->Legacy);
+  ASSERT_EQ(Loaded->Records.size(), 2u);
+  {
+    auto J = SearchJournal::open(F.Path, JournalSync::Full, H,
+                                 &Loaded->Records);
+    ASSERT_TRUE(J.ok()) << J.message();
+    ASSERT_TRUE(J->append(makeRecord(4, 1, 30, FailureKind::None)).ok());
+  }
+  auto Migrated = SearchJournal::load(F.Path, S, &H);
+  ASSERT_TRUE(Migrated.ok()) << Migrated.message();
+  EXPECT_FALSE(Migrated->Legacy);
+  EXPECT_EQ(Migrated->Header.SpaceFingerprint, S.fingerprint());
+  ASSERT_EQ(Migrated->Records.size(), 3u);
+  EXPECT_EQ(Migrated->Records[0].P.key(),
+            makeRecord(16, 7, 0, FailureKind::None).P.key());
+  EXPECT_EQ(Migrated->Records[2].P.key(),
+            makeRecord(4, 1, 0, FailureKind::None).P.key());
+}
+
+TEST(Journal, GarbageFileIsABadMagicError) {
+  Space S = smallSpace();
+  TempFile F("journal_garbage.rlog");
+  {
+    std::ofstream Out(F.Path, std::ios::binary);
+    Out << "PNG\x89 definitely not a journal";
+  }
+  auto Loaded = SearchJournal::load(F.Path, S);
+  ASSERT_FALSE(Loaded.ok());
+  EXPECT_NE(Loaded.message().find("bad magic at byte 0"), std::string::npos)
+      << Loaded.message();
+}
+
+//===----------------------------------------------------------------------===//
 // Kill-and-resume at the search layer
 //===----------------------------------------------------------------------===//
 
@@ -336,26 +512,29 @@ TEST_P(KillAndResume, ResumedRunMatchesUninterruptedRun) {
   }
 
   // Simulate the kill: a crashed process leaves a prefix of the history in
-  // its journal. Truncate to the first KillAfter records.
+  // its journal, plus the torn frame it died inside. Rebuild the file with
+  // the first KillAfter records and half of the next frame.
   {
-    std::ifstream In(F.Path);
-    std::string Text, Line;
-    size_t Kept = 0;
-    while (Kept < KillAfter && std::getline(In, Line)) {
-      Text += Line;
-      Text += '\n';
-      ++Kept;
-    }
-    ASSERT_EQ(Kept, KillAfter) << "reference run journaled too few records";
-    In.close();
+    auto Scan = support::RecordLog::scan(F.Path);
+    ASSERT_TRUE(Scan.ok()) << Scan.message();
+    ASSERT_GT(Scan->Records.size(), KillAfter)
+        << "reference run journaled too few records";
+    std::string Image = support::RecordLog::encodeHeaderBlock(Scan->Header);
+    for (size_t I = 0; I < KillAfter; ++I)
+      Image += support::RecordLog::encodeFrame(Scan->Records[I]);
+    std::string Torn =
+        support::RecordLog::encodeFrame(Scan->Records[KillAfter]);
+    Image.append(Torn.data(), Torn.size() / 2);
     std::ofstream Out(F.Path, std::ios::trunc | std::ios::binary);
-    Out << Text;
+    Out << Image;
   }
 
-  // Resume: replay the journal, finish the budget.
+  // Resume: replay the journal (recovering the torn tail), finish the
+  // budget.
   auto Loaded = SearchJournal::load(F.Path, S);
   ASSERT_TRUE(Loaded.ok()) << Loaded.message();
   ASSERT_EQ(Loaded->Records.size(), KillAfter);
+  EXPECT_EQ(Loaded->DroppedTailLines, 1);
 
   int FreshCalls = 0;
   LambdaObjective CountedObj(

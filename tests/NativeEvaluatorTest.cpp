@@ -236,5 +236,101 @@ TEST(NativeSandbox, OutcomeMapping) {
   EXPECT_EQ(O.Detail, "variant killed by SIGSEGV");
 }
 
+//===----------------------------------------------------------------------===//
+// Deterministic retry-with-backoff for MetricUnstable measurements
+//===----------------------------------------------------------------------===//
+
+TEST(NativeRetry, BackoffIsAPureFunctionOfSeedAndAttempt) {
+  // Same (seed, attempt) -> same delay, on every call and in any order:
+  // this is what makes --jobs N retry schedules identical to --jobs 1.
+  for (int Attempt : {0, 1, 2, 5}) {
+    double D = eval::nativeBackoffSeconds(1234, Attempt, 0.05, 10.0);
+    EXPECT_DOUBLE_EQ(D, eval::nativeBackoffSeconds(1234, Attempt, 0.05, 10.0));
+    EXPECT_GT(D, 0);
+  }
+  // Different seeds jitter differently (with overwhelming probability for
+  // these two fixed seeds).
+  EXPECT_NE(eval::nativeBackoffSeconds(1, 3, 0.05, 10.0),
+            eval::nativeBackoffSeconds(2, 3, 0.05, 10.0));
+}
+
+TEST(NativeRetry, BackoffGrowsExponentiallyAndRespectsCap) {
+  // Jitter is bounded in [0.5, 1.0], so attempt K+2 (4x base) always
+  // exceeds attempt K (1x base) despite jitter.
+  double D0 = eval::nativeBackoffSeconds(7, 0, 0.1, 1e9);
+  double D2 = eval::nativeBackoffSeconds(7, 2, 0.1, 1e9);
+  EXPECT_GT(D2, D0);
+  EXPECT_GE(D0, 0.05);
+  EXPECT_LE(D0, 0.1);
+  // The cap bounds every delay.
+  for (int Attempt = 0; Attempt < 30; ++Attempt)
+    EXPECT_LE(eval::nativeBackoffSeconds(7, Attempt, 0.1, 0.75), 0.75);
+  // Disabled base means no sleep.
+  EXPECT_DOUBLE_EQ(eval::nativeBackoffSeconds(7, 3, 0.0, 1.0), 0.0);
+}
+
+TEST(NativeRetry, RetriesOnlyMetricUnstable) {
+  using search::FailureKind;
+  auto Unstable = [] {
+    eval::NativeResult R;
+    R.Failure = FailureKind::MetricUnstable;
+    R.Error = "checksum varies";
+    return R;
+  };
+  auto Good = [] {
+    eval::NativeResult R;
+    R.Ok = true;
+    R.Seconds = 0.25;
+    return R;
+  };
+
+  // Unstable twice, then clean: succeeds after two retries, sleeping the
+  // deterministic schedule.
+  int Calls = 0;
+  std::vector<double> Sleeps;
+  eval::NativeResult R = eval::retryUnstable(
+      [&](int Attempt) {
+        EXPECT_EQ(Attempt, Calls);
+        ++Calls;
+        return Calls <= 2 ? Unstable() : Good();
+      },
+      [&](double S) { Sleeps.push_back(S); }, 42, 3, 0.05, 1.0);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(Calls, 3);
+  ASSERT_EQ(Sleeps.size(), 2u);
+  EXPECT_DOUBLE_EQ(Sleeps[0], eval::nativeBackoffSeconds(42, 0, 0.05, 1.0));
+  EXPECT_DOUBLE_EQ(Sleeps[1], eval::nativeBackoffSeconds(42, 1, 0.05, 1.0));
+
+  // Persistent instability: capped attempts, annotated error.
+  Calls = 0;
+  R = eval::retryUnstable([&](int) { ++Calls; return Unstable(); },
+                          nullptr, 42, 2, 0.0, 0.0);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(Calls, 3); // 1 initial + 2 retries
+  EXPECT_NE(R.Error.find("2 backoff retries"), std::string::npos) << R.Error;
+
+  // A hard failure is returned immediately, never retried.
+  Calls = 0;
+  R = eval::retryUnstable(
+      [&](int) {
+        ++Calls;
+        eval::NativeResult N;
+        N.Failure = FailureKind::RuntimeTrap;
+        N.Error = "SIGSEGV";
+        return N;
+      },
+      nullptr, 42, 5, 0.0, 0.0);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(R.Failure, FailureKind::RuntimeTrap);
+  EXPECT_EQ(R.Error, "SIGSEGV");
+
+  // MaxRetries == 0 disables retrying entirely.
+  Calls = 0;
+  R = eval::retryUnstable([&](int) { ++Calls; return Unstable(); },
+                          nullptr, 42, 0, 0.0, 0.0);
+  EXPECT_EQ(Calls, 1);
+  EXPECT_EQ(R.Failure, FailureKind::MetricUnstable);
+}
+
 } // namespace
 } // namespace locus

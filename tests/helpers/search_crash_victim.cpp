@@ -1,0 +1,123 @@
+//===- search_crash_victim.cpp - Real search run for crash torture ------------===//
+//
+// A minimal orchestrator driver spawned by CrashTortureTest: runs the Fig. 5
+// DGEMM search on the tiny machine with a journal (and optionally a
+// persistent cache directory), printing a machine-parsable summary the
+// parent compares across crashed/resumed/uninterrupted runs.
+//
+//   search_crash_victim --journal FILE [--resume] [--cache-dir DIR]
+//                       [--cache-readonly] [--budget N] [--seed N]
+//                       [--searcher NAME] [--crash-at SPEC]
+//
+// --crash-at SPEC arms the RecordLog crash injector (the SPEC lands in
+// LOCUS_RECORDLOG_CRASH_AT before any log is opened): the Nth append
+// SIGKILLs this process mid-write, the closest a test can get to yanking
+// the power cord. The parent then re-runs with --resume and expects the
+// same BEST/METRIC lines the uninterrupted run prints.
+//
+// Output on success (exit 0):
+//   BEST <id=value;id=value;...>
+//   METRIC <best metric, %.17g>
+//   EVALS <fresh> REPLAYED <replayed>
+//   CACHE loaded=<n> appended=<n> hits=<n> misses=<n> warnings=<n> degraded=<0|1>
+// On failure: the orchestrator's error on stderr, exit 1.
+//
+//===----------------------------------------------------------------------===//
+
+#include "src/cir/Parser.h"
+#include "src/driver/Orchestrator.h"
+#include "src/locus/LocusParser.h"
+#include "src/workloads/Workloads.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+using namespace locus;
+
+int main(int argc, char **argv) {
+  driver::OrchestratorOptions Opts;
+  Opts.Eval.Machine = machine::MachineConfig::tiny();
+  Opts.MaxEvaluations = 30;
+  Opts.Seed = 5;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < argc ? argv[++I] : nullptr;
+    };
+    if (Arg == "--journal") {
+      if (const char *V = Next())
+        Opts.JournalPath = V;
+    } else if (Arg == "--resume") {
+      Opts.ResumeFromJournal = true;
+    } else if (Arg == "--cache-dir") {
+      if (const char *V = Next())
+        Opts.CacheDir = V;
+    } else if (Arg == "--cache-readonly") {
+      Opts.CacheReadOnly = true;
+    } else if (Arg == "--budget") {
+      if (const char *V = Next())
+        Opts.MaxEvaluations = std::atoi(V);
+    } else if (Arg == "--seed") {
+      if (const char *V = Next())
+        Opts.Seed = static_cast<uint64_t>(std::strtoull(V, nullptr, 10));
+    } else if (Arg == "--searcher") {
+      if (const char *V = Next())
+        Opts.SearcherName = V;
+    } else if (Arg == "--crash-at") {
+      // Must be armed before the first RecordLog append in this process.
+      if (const char *V = Next())
+        ::setenv("LOCUS_RECORDLOG_CRASH_AT", V, 1);
+    } else {
+      std::fprintf(stderr, "search_crash_victim: unknown option %s\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+
+  // Under RLIMIT_FSIZE (the disk-full torture) an over-limit write must
+  // return EFBIG for RecordLog's partial-write amputation to run, not kill
+  // the process with SIGXFSZ.
+  std::signal(SIGXFSZ, SIG_IGN);
+
+  auto LP = lang::parseLocusProgram(workloads::dgemmLocusFig5());
+  if (!LP.ok()) {
+    std::fprintf(stderr, "locus parse failed: %s\n", LP.message().c_str());
+    return 1;
+  }
+  auto CP = cir::parseProgram(workloads::dgemmSource(24, 24, 24));
+  if (!CP.ok()) {
+    std::fprintf(stderr, "C parse failed: %s\n", CP.message().c_str());
+    return 1;
+  }
+
+  driver::Orchestrator Orch(**LP, **CP, Opts);
+  auto R = Orch.runSearch();
+  if (!R.ok()) {
+    std::fprintf(stderr, "%s\n", R.message().c_str());
+    return 1;
+  }
+
+  // One line per fact, stable ordering, full double precision: the parent
+  // diffs these strings byte for byte.
+  std::string Best = driver::serializePoint(R->Search.Best);
+  for (char &C : Best)
+    if (C == '\n')
+      C = ';';
+  std::printf("BEST %s\n", Best.c_str());
+  std::printf("METRIC %.17g\n", R->Search.BestMetric);
+  std::printf("EVALS %d REPLAYED %d\n", R->Search.Evaluations,
+              R->Search.ReplayedEvaluations);
+  std::printf("CACHE loaded=%llu appended=%llu hits=%llu misses=%llu "
+              "warnings=%llu degraded=%d\n",
+              (unsigned long long)R->Search.CacheLoadedPersistent,
+              (unsigned long long)R->Search.CachePersistedAppends,
+              (unsigned long long)R->Search.CacheHits,
+              (unsigned long long)R->Search.CacheMisses,
+              (unsigned long long)R->Search.CacheWarnings,
+              R->Search.CacheDegraded ? 1 : 0);
+  return 0;
+}
