@@ -73,12 +73,32 @@
 //   --no-static-prune     disable the static legality oracle (every point
 //                         reaches the evaluator)
 //
+// Pragma-free sources run through region discovery instead:
+//
+//   locus_cli --discover SOURCE.c [options]
+//
+//   --discover            scan an unannotated source for candidate loop
+//                         nests and print the ranked report: per-candidate
+//                         verdict (selected / demoted / rejected), nest
+//                         depth, trip-count product, footprint, hotness,
+//                         and a located reason for every demotion and
+//                         rejection
+//   --discover-top N      with --tune, annotate and tune only the N
+//                         hottest annotatable candidates (default: all)
+//   --tune                end-to-end: inject `#pragma @Locus` regions for
+//                         the discovered candidates and tune each under
+//                         the generated Fig. 13 generic program; accepts
+//                         all search options above (--search, --budget,
+//                         --seed, --jobs, --journal, ...)
+//
 //===----------------------------------------------------------------------===//
 
 #include "src/analysis/Dependence.h"
 #include "src/analysis/ParallelSafety.h"
+#include "src/analysis/RegionDiscovery.h"
 #include "src/analysis/TransformPlan.h"
 #include "src/analysis/Verifier.h"
+#include "src/cir/AstUtils.h"
 #include "src/cir/Parser.h"
 #include "src/cir/Printer.h"
 #include "src/driver/Orchestrator.h"
@@ -128,38 +148,15 @@ int usage(const char *Argv0) {
                "       [--resume] [--no-eval-cache]\n"
                "       [--cache-dir DIR] [--cache-readonly]\n"
                "       [--lint] [--race-check] [--trust-parallel]\n"
-               "       [--verify-each] [--no-static-prune]\n",
-               Argv0);
+               "       [--verify-each] [--no-static-prune]\n"
+               "   or: %s --discover SOURCE.c [--discover-top N] [--tune]\n"
+               "       [search options]\n",
+               Argv0, Argv0);
   return 2;
 }
 
-/// The outermost loops of a region (descending through plain blocks only).
-void collectOuterLoops(const cir::Block &B,
-                       std::vector<const cir::ForStmt *> &Out) {
-  for (const cir::StmtPtr &S : B.Stmts) {
-    if (const auto *For = cir::dyn_cast<cir::ForStmt>(S.get()))
-      Out.push_back(For);
-    else if (const auto *Blk = cir::dyn_cast<cir::Block>(S.get()))
-      collectOuterLoops(*Blk, Out);
-  }
-}
-
-/// Every loop statement inside a block, nest roots and nested loops alike.
-void collectAllLoops(const cir::Block &B,
-                     std::vector<const cir::ForStmt *> &Out) {
-  for (const cir::StmtPtr &S : B.Stmts) {
-    if (const auto *For = cir::dyn_cast<cir::ForStmt>(S.get())) {
-      Out.push_back(For);
-      collectAllLoops(*For->Body, Out);
-    } else if (const auto *Blk = cir::dyn_cast<cir::Block>(S.get())) {
-      collectAllLoops(*Blk, Out);
-    } else if (const auto *If = cir::dyn_cast<cir::IfStmt>(S.get())) {
-      collectAllLoops(*If->Then, Out);
-      if (If->Else)
-        collectAllLoops(*If->Else, Out);
-    }
-  }
-}
+using cir::collectAllLoops;
+using cir::collectOuterLoops;
 
 /// Parallel-safety report (--race-check): for every outer loop of every
 /// region — plus any nested loop already carrying an `omp parallel for`
@@ -301,10 +298,82 @@ int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
     }
   }
 
+  // Discovery findings: loop nests living outside every @Locus region.
+  // Rejected candidates surface their located rejection reason; annotatable
+  // ones get a coverage hint. Advisory like the rest of lint (exit 0).
+  analysis::DiscoveryReport Disc = analysis::discoverRegions(Baseline);
+  for (const analysis::NestCandidate &C : Disc.Candidates) {
+    if (C.Verdict == analysis::CandidateVerdict::Rejected) {
+      support::SrcLoc Loc = C.Why.Loc.valid() ? C.Why.Loc : C.Loc;
+      Diags.warning(Loc, "",
+                    "discovery: loop nest at " + C.Loc.str() +
+                        " is not optimizable: " + C.Why.Message);
+    } else {
+      Diags.warning(C.Loc, "",
+                    "loop nest `for (" + C.LoopVar +
+                        ")` is not covered by any @Locus region; discovery "
+                        "ranks it as " +
+                        C.Name + " (" +
+                        analysis::candidateVerdictName(C.Verdict) + ")");
+    }
+  }
+
   for (const support::Diag &D : Diags.all())
     if (D.Sev != support::DiagSeverity::Note)
       std::printf("%s\n", D.render().c_str());
   return 0;
+}
+
+/// --discover [--tune]: scan an unannotated source, print the ranked
+/// report, and optionally annotate the top candidates and tune each one
+/// under the generated generic program. Report-only mode always exits 0;
+/// tune mode exits 1 when any candidate's search fails.
+int runDiscover(const cir::Program &Baseline, driver::OrchestratorOptions Opts,
+                int TopN, bool Tune) {
+  analysis::DiscoveryOptions DOpts;
+  DOpts.Machine = Opts.Eval.Machine;
+  analysis::DiscoveryReport Report = analysis::discoverRegions(Baseline, DOpts);
+  std::printf("%s", Report.render().c_str());
+  if (!Tune)
+    return 0;
+
+  std::unique_ptr<cir::Program> Annotated = Baseline.clone();
+  Expected<int> Injected = analysis::annotateRegions(*Annotated, Report, TopN);
+  if (!Injected.ok()) {
+    std::fprintf(stderr, "annotation failed: %s\n", Injected.message().c_str());
+    return 1;
+  }
+  std::printf("annotated %d region(s)\n", *Injected);
+
+  const std::string JournalBase = Opts.JournalPath;
+  int Failures = 0;
+  for (const analysis::NestCandidate *C : Report.annotatable(TopN)) {
+    auto Prog = lang::parseLocusProgram(analysis::genericLocusProgram(*C));
+    if (!Prog.ok()) {
+      std::fprintf(stderr, "candidate %s: bad generic program: %s\n",
+                   C->Name.c_str(), Prog.message().c_str());
+      ++Failures;
+      continue;
+    }
+    // One journal per candidate: each search has its own space fingerprint.
+    if (!JournalBase.empty())
+      Opts.JournalPath = JournalBase + "." + C->Name;
+    driver::Orchestrator Orch(**Prog, *Annotated, Opts);
+    auto R = Orch.runSearch();
+    if (!R.ok()) {
+      std::fprintf(stderr, "candidate %s: search failed: %s\n", C->Name.c_str(),
+                   R.message().c_str());
+      ++Failures;
+      continue;
+    }
+    std::printf("candidate %s (%s, depth %d): %llu points, assessed %d, "
+                "baseline %.0f -> best %.0f cycles, speedup %.2fx%s\n",
+                C->Name.c_str(), C->Loc.str().c_str(), C->Depth,
+                (unsigned long long)R->Space.fullSize(), R->Search.Evaluations,
+                R->BaselineCycles, R->BestCycles, R->Speedup,
+                R->BaselineChosen ? " (baseline kept)" : "");
+  }
+  return Failures ? 1 : 0;
 }
 
 } // namespace
@@ -312,10 +381,13 @@ int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
 int main(int argc, char **argv) {
   if (argc < 3)
     return usage(argv[0]);
-  std::string ProgramPath = argv[1];
+  bool Discover = std::strcmp(argv[1], "--discover") == 0;
+  std::string ProgramPath = Discover ? "" : argv[1];
   std::string SourcePath = argv[2];
 
   bool Direct = false, Native = false, Lint = false, RaceCheck = false;
+  bool Tune = false;
+  int DiscoverTop = 0;
   std::string PointPath, EmitC, ExportDirect, ExportPoint;
   driver::OrchestratorOptions Opts;
   Opts.MaxEvaluations = 100;
@@ -331,6 +403,24 @@ int main(int argc, char **argv) {
     };
     if (Arg == "--direct") {
       Direct = true;
+    } else if (Arg == "--tune") {
+      if (!Discover) {
+        std::fprintf(stderr, "--tune is only valid with --discover\n");
+        return usage(argv[0]);
+      }
+      Tune = true;
+    } else if (Arg == "--discover-top") {
+      if (!Discover) {
+        std::fprintf(stderr, "--discover-top is only valid with --discover\n");
+        return usage(argv[0]);
+      }
+      if (const char *V = Next()) {
+        DiscoverTop = std::atoi(V);
+        if (DiscoverTop < 1) {
+          std::fprintf(stderr, "--discover-top wants a positive count\n");
+          return usage(argv[0]);
+        }
+      }
     } else if (Arg == "--native") {
       Native = true;
     } else if (Arg == "--native-metric") {
@@ -432,27 +522,30 @@ int main(int argc, char **argv) {
   }
 
   bool Ok = false;
-  std::string LocusText = readFile(ProgramPath, Ok);
-  if (!Ok) {
-    std::fprintf(stderr, "cannot read %s\n", ProgramPath.c_str());
-    return 1;
-  }
   std::string CText = readFile(SourcePath, Ok);
   if (!Ok) {
     std::fprintf(stderr, "cannot read %s\n", SourcePath.c_str());
-    return 1;
-  }
-
-  auto Prog = lang::parseLocusProgram(LocusText);
-  if (!Prog.ok()) {
-    std::fprintf(stderr, "%s: %s\n", ProgramPath.c_str(),
-                 Prog.message().c_str());
     return 1;
   }
   auto Baseline = cir::parseProgram(CText);
   if (!Baseline.ok()) {
     std::fprintf(stderr, "%s: %s\n", SourcePath.c_str(),
                  Baseline.message().c_str());
+    return 1;
+  }
+
+  if (Discover)
+    return runDiscover(**Baseline, Opts, DiscoverTop, Tune);
+
+  std::string LocusText = readFile(ProgramPath, Ok);
+  if (!Ok) {
+    std::fprintf(stderr, "cannot read %s\n", ProgramPath.c_str());
+    return 1;
+  }
+  auto Prog = lang::parseLocusProgram(LocusText);
+  if (!Prog.ok()) {
+    std::fprintf(stderr, "%s: %s\n", ProgramPath.c_str(),
+                 Prog.message().c_str());
     return 1;
   }
 

@@ -1,0 +1,26 @@
+#define N 40
+
+double A[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

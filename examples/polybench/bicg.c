@@ -1,0 +1,27 @@
+#define N 40
+
+double A[N][N];
+double s[N];
+double q[N];
+double p[N];
+double r[N];
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    s[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

@@ -1,0 +1,35 @@
+#define N 40
+
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

@@ -1,0 +1,24 @@
+#define N 40
+
+double A[N][N];
+double C[N][N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j, k;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      C[i][j] = C[i][j] * beta;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

@@ -457,6 +457,30 @@ ExprPtr foldExpr(ExprPtr E) {
   }
 }
 
+void collectOuterLoops(const Block &B, std::vector<const ForStmt *> &Out) {
+  for (const StmtPtr &S : B.Stmts) {
+    if (const auto *For = dyn_cast<ForStmt>(S.get()))
+      Out.push_back(For);
+    else if (const auto *Blk = dyn_cast<Block>(S.get()))
+      collectOuterLoops(*Blk, Out);
+  }
+}
+
+void collectAllLoops(const Block &B, std::vector<const ForStmt *> &Out) {
+  for (const StmtPtr &S : B.Stmts) {
+    if (const auto *For = dyn_cast<ForStmt>(S.get())) {
+      Out.push_back(For);
+      collectAllLoops(*For->Body, Out);
+    } else if (const auto *Blk = dyn_cast<Block>(S.get())) {
+      collectAllLoops(*Blk, Out);
+    } else if (const auto *If = dyn_cast<IfStmt>(S.get())) {
+      collectAllLoops(*If->Then, Out);
+      if (If->Else)
+        collectAllLoops(*If->Else, Out);
+    }
+  }
+}
+
 void forEachExpr(Stmt &S, const std::function<void(ExprPtr &)> &Fn) {
   switch (S.kind()) {
   case StmtKind::Block:

@@ -79,6 +79,15 @@ std::optional<int64_t> evalConstInt(const Expr &E);
 /// emitted code stays readable.
 ExprPtr foldExpr(ExprPtr E);
 
+/// Collects the outermost loops inside \p B in source order, descending
+/// through nested plain blocks but not into loop bodies. (Shared by the CLI
+/// workflows and region discovery; formerly private to locus_cli.)
+void collectOuterLoops(const Block &B, std::vector<const ForStmt *> &Out);
+
+/// Collects every loop inside \p B — nest roots and nested loops alike —
+/// descending through blocks, loop bodies and both if branches.
+void collectAllLoops(const Block &B, std::vector<const ForStmt *> &Out);
+
 /// Visits every expression in a statement subtree (mutable access).
 void forEachExpr(Stmt &S, const std::function<void(ExprPtr &)> &Fn);
 

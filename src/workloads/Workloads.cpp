@@ -2,6 +2,8 @@
 
 #include "src/workloads/Workloads.h"
 
+#include "src/analysis/RegionDiscovery.h"
+
 #include "src/support/Rng.h"
 
 #include <algorithm>
@@ -899,42 +901,165 @@ std::vector<CorpusEntry> loopCorpus(double Scale, uint64_t Seed) {
 }
 
 std::string fig13GenericProgram() {
-  return R"(
-Search {
-  buildcmd = "make clean; make LOOPEXTRACTED";
-  runcmd = "LOOPEXTRACTED ../input 10";
+  // The canonical text lives with the discovery subsystem so hand-annotated
+  // and auto-discovered regions tune under byte-identical programs.
+  return analysis::genericLocusProgram("scop");
 }
 
-CodeReg scop {
-  perfect = BuiltIn.IsPerfectLoopNest();
-  depth = BuiltIn.LoopNestDepth();
-  if (RoseLocus.IsDepAvailable()) {
-    if (perfect && depth > 1) {
-      permorder = permutation(seq(0, depth));
-      RoseLocus.Interchange(order=permorder);
-    }
-    {
-      if (perfect) {
-        indexT1 = integer(1..depth);
-        T1fac = poweroftwo(2..32);
-        RoseLocus.Tiling(loop=indexT1, factor=T1fac);
-      }
-    } OR {
-      if (depth > 1) {
-        indexUAJ = integer(1..depth-1);
-        UAJfac = poweroftwo(2..4);
-        RoseLocus.UnrollAndJam(loop=indexUAJ, factor=UAJfac);
-      }
-    } OR {
-      None; # No tiling, interchange, or unroll and jam.
-    }
-    innerloops = BuiltIn.ListInnerLoops();
-    *RoseLocus.Distribute(loop=innerloops);
-  }
-  innerloops = BuiltIn.ListInnerLoops();
-  RoseLocus.Unroll(loop=innerloops, factor=poweroftwo(2..8));
+const std::vector<std::string> &polybenchKernels() {
+  static const std::vector<std::string> Names = {"gemver", "atax", "bicg",
+                                                 "mvt", "syrk"};
+  return Names;
+}
+
+std::string polybenchSource(const std::string &Name, int N) {
+  std::ostringstream Out;
+  Out << "#define N " << N << "\n";
+  if (Name == "gemver") {
+    Out << R"(
+double A[N][N];
+double u1[N];
+double v1[N];
+double u2[N];
+double v2[N];
+double w[N];
+double x[N];
+double y[N];
+double z[N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x[i] = x[i] + beta * A[j][i] * y[j];
+  for (i = 0; i < N; i++)
+    x[i] = x[i] + z[i];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      w[i] = w[i] + alpha * A[i][j] * x[j];
+  t_end = rtclock();
+  print_array();
+  return 0;
 }
 )";
+  } else if (Name == "atax") {
+    Out << R"(
+double A[N][N];
+double x[N];
+double y[N];
+double tmp[N];
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    y[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    for (j = 0; j < N; j++)
+      tmp[i] = tmp[i] + A[i][j] * x[j];
+    for (j = 0; j < N; j++)
+      y[j] = y[j] + A[i][j] * tmp[i];
+  }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else if (Name == "bicg") {
+    Out << R"(
+double A[N][N];
+double s[N];
+double q[N];
+double p[N];
+double r[N];
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    s[i] = 0.0;
+  for (i = 0; i < N; i++) {
+    q[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      s[j] = s[j] + r[i] * A[i][j];
+      q[i] = q[i] + A[i][j] * p[j];
+    }
+  }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else if (Name == "mvt") {
+    Out << R"(
+double A[N][N];
+double x1[N];
+double x2[N];
+double y1[N];
+double y2[N];
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x1[i] = x1[i] + A[i][j] * y1[j];
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      x2[i] = x2[i] + A[j][i] * y2[j];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else if (Name == "syrk") {
+    Out << R"(
+double A[N][N];
+double C[N][N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j, k;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      C[i][j] = C[i][j] * beta;
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < N; k++)
+        C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else {
+    assert(false && "unknown polybench kernel");
+  }
+  return Out.str();
 }
 
 } // namespace workloads

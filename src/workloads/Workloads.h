@@ -127,6 +127,21 @@ std::vector<CorpusEntry> loopCorpus(double Scale, uint64_t Seed);
 /// The Fig. 13 generic optimization program for arbitrary loop nests.
 std::string fig13GenericProgram();
 
+//===----------------------------------------------------------------------===//
+// Unannotated PolyBench-style kernels (region-discovery inputs)
+//===----------------------------------------------------------------------===//
+
+/// Names of the unannotated PolyBench-style kernels: "gemver", "atax",
+/// "bicg", "mvt", "syrk". Unlike every other workload these carry no
+/// `#pragma @Locus` markers — they are the inputs region discovery must
+/// find nests in by itself (`locus_cli --discover`).
+const std::vector<std::string> &polybenchKernels();
+
+/// Pragma-free MiniC source of PolyBench kernel \p Name at problem size
+/// \p N (all arrays N or NxN, dgemm-style init_array/rtclock/print_array
+/// harness). Asserts on unknown names.
+std::string polybenchSource(const std::string &Name, int N);
+
 } // namespace workloads
 } // namespace locus
 

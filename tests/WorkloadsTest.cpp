@@ -83,6 +83,21 @@ TEST(Workloads, KripkeSnippetsCoverAllKernelsAndLayouts) {
   }
 }
 
+TEST(Workloads, PolybenchSourcesAreUnannotatedAndRun) {
+  ASSERT_EQ(workloads::polybenchKernels().size(), 5u);
+  for (const std::string &Name : workloads::polybenchKernels()) {
+    std::string Source = workloads::polybenchSource(Name, 8);
+    // These are the region-discovery inputs: no @Locus markers anywhere.
+    EXPECT_EQ(Source.find("@Locus"), std::string::npos) << Name;
+    auto P = cir::parseProgram(Source);
+    ASSERT_TRUE(P.ok()) << Name << ": " << P.message();
+    eval::EvalOptions Opts;
+    Opts.CountCost = false;
+    eval::RunResult R = eval::evaluateProgram(**P, Opts);
+    EXPECT_TRUE(R.Ok) << Name << ": " << R.Error;
+  }
+}
+
 TEST(Workloads, KripkeHandVersionsDifferByLayout) {
   workloads::KripkeConfig C;
   C.NumZones = 8;
