@@ -105,6 +105,8 @@
 #include "src/eval/NativeEvaluator.h"
 #include "src/locus/LocusParser.h"
 #include "src/locus/LocusPrinter.h"
+#include "src/support/RecordLog.h"
+#include "src/support/Signals.h"
 
 #include <algorithm>
 #include <cmath>
@@ -114,6 +116,8 @@
 #include <limits>
 #include <set>
 #include <sstream>
+#include <sys/stat.h>
+#include <unistd.h>
 
 using namespace locus;
 
@@ -149,10 +153,133 @@ int usage(const char *Argv0) {
                "       [--cache-dir DIR] [--cache-readonly]\n"
                "       [--lint] [--race-check] [--trust-parallel]\n"
                "       [--verify-each] [--no-static-prune]\n"
+               "       [--serve --queue-dir DIR [--workers N]\n"
+               "        [--lease-timeout SECS]]\n"
+               "       [--worker --queue-dir DIR [--worker-id ID]]\n"
                "   or: %s --discover SOURCE.c [--discover-top N] [--tune]\n"
-               "       [search options]\n",
-               Argv0, Argv0);
+               "       [search options]\n"
+               "   or: %s --journal-dump FILE | --queue-dump DIR-or-FILE\n",
+               Argv0, Argv0, Argv0);
   return 2;
+}
+
+/// --journal-dump / --queue-dump: human-readable inspection of a CRC-framed
+/// RecordLog file — header, per-record byte offset and payload summary, and
+/// an explicit note when a torn tail was found. Queue dumps additionally
+/// fold the records and print the resulting task state.
+int dumpRecordLog(std::string Path, bool Queue) {
+  struct stat St;
+  if (Queue && ::stat(Path.c_str(), &St) == 0 && S_ISDIR(St.st_mode))
+    Path = service::TaskQueue::queueFilePath(Path);
+  auto Scan = support::RecordLog::scan(Path);
+  if (!Scan.ok()) {
+    std::fprintf(stderr, "%s: %s\n", Path.c_str(), Scan.message().c_str());
+    return 1;
+  }
+  if (Scan->Header.empty() && Scan->Records.empty() && !Scan->TornTail) {
+    std::printf("%s: empty or missing record log\n", Path.c_str());
+    return 0;
+  }
+  std::printf("%s: record log, %zu record(s), %llu intact bytes\n",
+              Path.c_str(), Scan->Records.size(),
+              (unsigned long long)Scan->GoodBytes);
+
+  // The header payload pins the file to a space + config; show both the
+  // parsed fingerprints (when the format is recognized) and the raw text.
+  if (Queue) {
+    auto H = service::parseQueueHeader(Scan->Header);
+    if (H.ok())
+      std::printf("header: queue v1, space fingerprint %016llx, config "
+                  "digest %016llx\n",
+                  (unsigned long long)H->SpaceFingerprint,
+                  (unsigned long long)H->ConfigDigest);
+    else
+      std::printf("header: unrecognized (%s)\n", H.message().c_str());
+  } else {
+    search::JournalHeader H;
+    if (search::SearchJournal::parseHeader(Scan->Header, H))
+      std::printf("header: journal, space fingerprint %016llx, config "
+                  "digest %016llx\n",
+                  (unsigned long long)H.SpaceFingerprint,
+                  (unsigned long long)H.ConfigDigest);
+    else
+      std::printf("header: unrecognized journal header\n");
+  }
+
+  uint64_t Off = support::RecordLog::headerBlockSize(Scan->Header.size());
+  service::QueueState State;
+  for (size_t I = 0; I < Scan->Records.size(); ++I) {
+    const std::string &Payload = Scan->Records[I];
+    std::string Summary;
+    if (Queue) {
+      auto R = service::parseQueueRecord(Payload);
+      if (R.ok()) {
+        Summary = service::queueRecordKindName(R->K);
+        if (R->K != service::QueueRecord::Kind::Shutdown)
+          Summary += " id=" + std::to_string(R->Id);
+        switch (R->K) {
+        case service::QueueRecord::Kind::Lease:
+        case service::QueueRecord::Kind::Heartbeat:
+          Summary += " epoch=" + std::to_string(R->Epoch) + " worker=" +
+                     R->Worker;
+          break;
+        case service::QueueRecord::Kind::Expire:
+          Summary += " epoch=" + std::to_string(R->Epoch);
+          break;
+        case service::QueueRecord::Kind::Result:
+          Summary += " epoch=" + std::to_string(R->Epoch) + " worker=" +
+                     R->Worker + " " +
+                     (R->Out.ok() ? "metric=" + std::to_string(R->Out.Metric)
+                                  : std::string(search::failureKindName(
+                                        R->Out.Failure)));
+          break;
+        default:
+          break;
+        }
+        State.apply(*R);
+      } else {
+        Summary = "unparseable: " + R.message();
+      }
+    } else {
+      // Journal records are single JSON lines; the first stretch is the
+      // point itself, which is the useful part at a glance.
+      Summary = Payload.substr(0, 96);
+      if (Payload.size() > 96)
+        Summary += "...";
+      for (char &C : Summary)
+        if (C == '\n')
+          C = ' ';
+    }
+    std::printf("  @%-8llu %5zu bytes  %s\n", (unsigned long long)Off,
+                Payload.size(), Summary.c_str());
+    Off += 8 + Payload.size();
+  }
+  if (Scan->TornTail)
+    std::printf("torn tail at offset %llu: %s (recovery truncates to %llu "
+                "bytes)\n",
+                (unsigned long long)Scan->TornOffset, Scan->Why.c_str(),
+                (unsigned long long)Scan->GoodBytes);
+  if (Queue) {
+    uint64_t Done = 0, Open = 0, Claimed = 0, Quarantined = 0;
+    for (const auto &[Id, T] : State.Tasks) {
+      if (T.Done)
+        ++Done;
+      else if (!T.LeaseWorker.empty())
+        ++Claimed;
+      else
+        ++Open;
+      if (T.Quarantined)
+        ++Quarantined;
+    }
+    std::printf("state: %zu task(s): %llu done (%llu quarantined), %llu "
+                "claimed, %llu open; %llu stale result(s) discarded%s\n",
+                State.Tasks.size(), (unsigned long long)Done,
+                (unsigned long long)Quarantined, (unsigned long long)Claimed,
+                (unsigned long long)Open,
+                (unsigned long long)State.StaleResultsDiscarded,
+                State.ShutdownSeen ? "; shutdown announced" : "");
+  }
+  return 0;
 }
 
 using cir::collectAllLoops;
@@ -379,6 +506,12 @@ int runDiscover(const cir::Program &Baseline, driver::OrchestratorOptions Opts,
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--journal-dump") == 0 ||
+                    std::strcmp(argv[1], "--queue-dump") == 0)) {
+    if (argc != 3)
+      return usage(argv[0]);
+    return dumpRecordLog(argv[2], std::strcmp(argv[1], "--queue-dump") == 0);
+  }
   if (argc < 3)
     return usage(argv[0]);
   bool Discover = std::strcmp(argv[1], "--discover") == 0;
@@ -387,6 +520,12 @@ int main(int argc, char **argv) {
 
   bool Direct = false, Native = false, Lint = false, RaceCheck = false;
   bool Tune = false;
+  bool Serve = false, Worker = false;
+  int ServeWorkers = 1;
+  std::string QueueDir, WorkerId;
+  // Flags a spawned worker must replay to build the *identical* objective
+  // (machine model, tolerances, cache config); collected during parsing.
+  std::vector<std::string> ForwardArgs;
   int DiscoverTop = 0;
   std::string PointPath, EmitC, ExportDirect, ExportPoint;
   driver::OrchestratorOptions Opts;
@@ -398,6 +537,7 @@ int main(int argc, char **argv) {
   Opts.AllowSnippetFiles = true;
   for (int I = 3; I < argc; ++I) {
     std::string Arg = argv[I];
+    const int ArgFirst = I;
     auto Next = [&]() -> const char * {
       return I + 1 < argc ? argv[++I] : nullptr;
     };
@@ -515,10 +655,54 @@ int main(int argc, char **argv) {
     } else if (Arg == "--export-point") {
       if (const char *V = Next())
         ExportPoint = V;
+    } else if (Arg == "--serve") {
+      Serve = true;
+    } else if (Arg == "--worker") {
+      Worker = true;
+    } else if (Arg == "--workers") {
+      if (const char *V = Next()) {
+        ServeWorkers = std::atoi(V);
+        if (ServeWorkers < 0) {
+          std::fprintf(stderr, "--workers wants a non-negative count\n");
+          return usage(argv[0]);
+        }
+      }
+    } else if (Arg == "--queue-dir") {
+      if (const char *V = Next())
+        QueueDir = V;
+    } else if (Arg == "--worker-id") {
+      if (const char *V = Next())
+        WorkerId = V;
+    } else if (Arg == "--lease-timeout") {
+      if (const char *V = Next()) {
+        Opts.Serve.LeaseTimeoutSeconds = std::atof(V);
+        if (Opts.Serve.LeaseTimeoutSeconds <= 0) {
+          std::fprintf(stderr,
+                       "--lease-timeout wants a positive number of seconds\n");
+          return usage(argv[0]);
+        }
+      }
     } else {
       std::fprintf(stderr, "unknown option: %s\n", Arg.c_str());
       return usage(argv[0]);
     }
+    static const std::set<std::string> ForwardFlags = {
+        "--native-metric", "--native-timeout", "--keep-workdirs",
+        "--checksum-rtol", "--trust-parallel", "--verify-each",
+        "--no-eval-cache", "--eval-cache",     "--cache-dir",
+        "--cache-readonly", "--machine",       "--cores"};
+    if (ForwardFlags.count(Arg))
+      for (int J = ArgFirst; J <= I; ++J)
+        ForwardArgs.push_back(argv[J]);
+  }
+  if ((Serve || Worker) && QueueDir.empty()) {
+    std::fprintf(stderr, "%s requires --queue-dir\n",
+                 Serve ? "--serve" : "--worker");
+    return usage(argv[0]);
+  }
+  if (Serve && Worker) {
+    std::fprintf(stderr, "--serve and --worker are mutually exclusive\n");
+    return usage(argv[0]);
   }
 
   bool Ok = false;
@@ -566,7 +750,48 @@ int main(int argc, char **argv) {
     Opts.NativeMetric = false;
   }
 
+  // Graceful SIGTERM/SIGINT: the flag is checked between evaluations, the
+  // journal's last record is already synced, and partial results are
+  // reported with a clean exit code.
+  support::installShutdownFlag();
+  Opts.StopFlag = support::shutdownFlag();
+
+  if (Serve) {
+    Opts.Serve.QueueDir = QueueDir;
+    Opts.Serve.Workers = ServeWorkers;
+    // Workers re-exec this binary with the same program/source and the
+    // eval-relevant flags, in worker mode against the same queue dir.
+    char ExeBuf[4096];
+    ssize_t N = ::readlink("/proc/self/exe", ExeBuf, sizeof(ExeBuf) - 1);
+    std::string Exe = N > 0 ? std::string(ExeBuf, static_cast<size_t>(N))
+                            : std::string(argv[0]);
+    std::vector<std::string> BaseArgv = {Exe, ProgramPath, SourcePath,
+                                         "--worker", "--queue-dir", QueueDir};
+    BaseArgv.insert(BaseArgv.end(), ForwardArgs.begin(), ForwardArgs.end());
+    Opts.Serve.WorkerArgv = [BaseArgv](int, int) { return BaseArgv; };
+  }
+
   driver::Orchestrator Orch(**Prog, **Baseline, Opts);
+
+  if (Worker) {
+    service::WorkerOptions WOpts;
+    WOpts.QueueDir = QueueDir;
+    WOpts.WorkerId =
+        WorkerId.empty() ? "pid" + std::to_string(::getpid()) : WorkerId;
+    WOpts.StopFlag = Opts.StopFlag;
+    auto WR = Orch.runWorker(WOpts);
+    if (!WR.ok()) {
+      std::fprintf(stderr, "worker failed: %s\n", WR.message().c_str());
+      return 1;
+    }
+    std::printf("worker %s: %llu task(s) evaluated, %llu claim(s) lost, "
+                "%llu heartbeat(s)\n",
+                WOpts.WorkerId.c_str(),
+                (unsigned long long)WR->TasksEvaluated,
+                (unsigned long long)WR->ClaimsLost,
+                (unsigned long long)WR->Heartbeats);
+    return 0;
+  }
 
   std::unique_ptr<cir::Program> Best;
   search::Point BestPoint;
@@ -653,6 +878,26 @@ int main(int argc, char **argv) {
                   "quarantined (%d rejects)\n",
                   R->Guard.UnstableRetries, R->Guard.UnstableRecovered,
                   R->Guard.QuarantinedPoints, R->Guard.QuarantineRejects);
+    if (R->Served) {
+      const service::ServiceStats &S = R->Service;
+      std::printf("service: %llu task(s) (%llu from workers, %llu recovered, "
+                  "%llu local), %d worker(s) spawned (%llu death(s), %llu "
+                  "respawn(s)), %llu lease expiries, %llu stale result(s) "
+                  "discarded, %llu quarantined%s\n",
+                  (unsigned long long)S.TasksSubmitted,
+                  (unsigned long long)S.WorkerResults,
+                  (unsigned long long)S.RecoveredResults,
+                  (unsigned long long)S.LocalFallbackEvals, S.WorkersSpawned,
+                  (unsigned long long)S.WorkerDeaths,
+                  (unsigned long long)S.WorkerRespawns,
+                  (unsigned long long)S.LeaseExpiries,
+                  (unsigned long long)S.StaleResultsDiscarded,
+                  (unsigned long long)S.QuarantinedTasks,
+                  S.Degraded ? " (degraded to in-process)" : "");
+    }
+    if (R->Search.Stopped)
+      std::printf("interrupted: partial results after %d evaluation(s)\n",
+                  R->Search.Evaluations);
     if (Opts.NativeMetric)
       std::printf("baseline %.6f s -> best %.6f s, speedup %.2fx%s\n",
                   R->BaselineCycles, R->BestCycles, R->Speedup,

@@ -285,8 +285,25 @@ bool fileExists(const std::string &Path) {
 
 } // namespace
 
-Expected<SearchWorkflowResult> Orchestrator::runSearch() {
-  SearchWorkflowResult Result;
+struct Orchestrator::PreparedSearch {
+  search::Space Space;
+  analysis::TransformPlan Plan;
+  std::optional<eval::RunResult> BaseRun;
+  bool BaselineRunnable = false;
+  double BaselineCycles = 0;
+  double BaselineChecksum = std::numeric_limits<double>::quiet_NaN();
+  uint64_t DeadlineIterations = 0;
+  double NativeTimeoutSeconds = 0;
+  search::EvalCache MemCache;
+  std::unique_ptr<search::PersistentEvalCache> DiskCache;
+  search::VariantOutcomeCache *Cache = nullptr;
+  std::unique_ptr<VariantObjective> Objective;
+};
+
+Expected<std::unique_ptr<Orchestrator::PreparedSearch>>
+Orchestrator::prepareSearch() {
+  using Ret = Expected<std::unique_ptr<PreparedSearch>>;
+  auto Prep = std::make_unique<PreparedSearch>();
 
   // Convert the optimization space (Section IV-B).
   std::unique_ptr<cir::Program> ExtractTarget = Baseline.clone();
@@ -297,65 +314,107 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   TCtx.TrustParallel = Opts.TrustParallel;
   TCtx.AllowSnippetFiles = Opts.AllowSnippetFiles;
   lang::LocusInterpreter Interp(program(), Registry);
-  analysis::TransformPlan Plan;
-  lang::ExecOutcome Extract = Interp.extractSpace(
-      *ExtractTarget, Result.Space, TCtx, Opts.StaticPrune ? &Plan : nullptr);
+  lang::ExecOutcome Extract =
+      Interp.extractSpace(*ExtractTarget, Prep->Space, TCtx,
+                          Opts.StaticPrune ? &Prep->Plan : nullptr);
   if (!Extract.Ok)
-    return Expected<SearchWorkflowResult>::error("space extraction failed: " +
-                                                 Extract.Error);
+    return Ret::error("space extraction failed: " + Extract.Error);
 
   // Baseline metric (also the non-prescriptive fallback). Some baselines
   // are skeletons that only become executable once the optimization program
   // fills them in (the Kripke kernels with their address_calc placeholder);
   // those get an infinite baseline metric and no checksum reference.
   Expected<eval::RunResult> BaseRun = evaluateBaseline();
-  bool BaselineRunnable = BaseRun.ok();
-  double BaselineChecksum = std::numeric_limits<double>::quiet_NaN();
-  double NativeTimeoutSeconds = 0;
+  Prep->BaselineRunnable = BaseRun.ok();
+  if (BaseRun.ok())
+    Prep->BaseRun = *BaseRun;
   if (Opts.NativeMetric) {
     // Native measurement: the baseline is compiled and run in the sandbox;
     // its wall-clock time is the reference metric, its checksum the
     // correctness reference, and VariantDeadlineFactor times its duration
     // the per-variant deadline (capped by the configured --native-timeout).
     if (!eval::nativeCompilerAvailable(Opts.Native.Compiler))
-      return Expected<SearchWorkflowResult>::error(
+      return Ret::error(
           "native metric requested but compiler '" + Opts.Native.Compiler +
           "' is not available on this host; rerun without --native-metric "
           "to use the simulator");
     eval::NativeResult NBase = eval::evaluateNative(Baseline, Opts.Native);
     if (!NBase.Ok)
-      return Expected<SearchWorkflowResult>::error(
-          "native baseline evaluation failed (" +
-          std::string(search::failureKindName(NBase.Failure)) +
-          "): " + NBase.Error);
-    BaselineRunnable = true;
-    Result.BaselineCycles = NBase.Seconds;
-    BaselineChecksum = NBase.Checksum;
-    NativeTimeoutSeconds = Opts.Native.RunTimeoutSeconds;
+      return Ret::error("native baseline evaluation failed (" +
+                        std::string(search::failureKindName(NBase.Failure)) +
+                        "): " + NBase.Error);
+    Prep->BaselineRunnable = true;
+    Prep->BaselineCycles = NBase.Seconds;
+    Prep->BaselineChecksum = NBase.Checksum;
+    Prep->NativeTimeoutSeconds = Opts.Native.RunTimeoutSeconds;
     if (Opts.VariantDeadlineFactor > 0) {
       double Derived =
           std::max(0.1, Opts.VariantDeadlineFactor * NBase.Seconds);
-      NativeTimeoutSeconds = NativeTimeoutSeconds > 0
-                                 ? std::min(NativeTimeoutSeconds, Derived)
-                                 : Derived;
+      Prep->NativeTimeoutSeconds =
+          Prep->NativeTimeoutSeconds > 0
+              ? std::min(Prep->NativeTimeoutSeconds, Derived)
+              : Derived;
     }
-  } else if (BaselineRunnable) {
-    Result.BaselineCycles = BaseRun->Cycles;
-    BaselineChecksum = BaseRun->Checksum;
+  } else if (Prep->BaselineRunnable) {
+    Prep->BaselineCycles = BaseRun->Cycles;
+    Prep->BaselineChecksum = BaseRun->Checksum;
   } else {
-    Result.BaselineCycles = std::numeric_limits<double>::infinity();
+    Prep->BaselineCycles = std::numeric_limits<double>::infinity();
   }
 
   // Per-variant deadline derived from the baseline run (guard 1).
-  uint64_t DeadlineIterations = 0;
-  if (!Opts.NativeMetric && BaselineRunnable && BaseRun.ok() &&
+  if (!Opts.NativeMetric && Prep->BaselineRunnable && BaseRun.ok() &&
       Opts.VariantDeadlineFactor > 0 && BaseRun->LoopIterations > 0) {
     double Budget = Opts.VariantDeadlineFactor *
                     static_cast<double>(BaseRun->LoopIterations);
-    DeadlineIterations = Budget >= static_cast<double>(UINT64_MAX)
-                             ? UINT64_MAX
-                             : static_cast<uint64_t>(Budget);
+    Prep->DeadlineIterations = Budget >= static_cast<double>(UINT64_MAX)
+                                   ? UINT64_MAX
+                                   : static_cast<uint64_t>(Budget);
   }
+
+  // Cache selection: plain in-memory, or the durable store when a cache
+  // directory is configured. The persistent cache never fails construction
+  // (any store problem degrades it to in-memory with a warning), so the
+  // search proceeds either way. Workers share the same store through
+  // --cache-dir, which is how a respawned worker starts warm.
+  if (Opts.UseEvalCache) {
+    if (!Opts.CacheDir.empty()) {
+      search::PersistentCacheOptions PCOpts;
+      PCOpts.Dir = Opts.CacheDir;
+      PCOpts.ReadOnly = Opts.CacheReadOnly;
+      Prep->DiskCache = std::make_unique<search::PersistentEvalCache>(PCOpts);
+      Prep->Cache = Prep->DiskCache.get();
+    } else {
+      Prep->Cache = &Prep->MemCache;
+    }
+  }
+  Prep->Objective = std::make_unique<VariantObjective>(
+      program(), Registry, Baseline, Opts, Prep->BaselineChecksum,
+      Prep->DeadlineIterations, Prep->NativeTimeoutSeconds, Prep->Cache);
+  return Prep;
+}
+
+Expected<service::WorkerStats>
+Orchestrator::runWorker(service::WorkerOptions WOpts) {
+  auto Prep = prepareSearch();
+  if (!Prep.ok())
+    return Expected<service::WorkerStats>::error(Prep.message());
+  if (WOpts.SpaceFingerprint == 0)
+    WOpts.SpaceFingerprint = (*Prep)->Space.fingerprint();
+  return service::runWorker((*Prep)->Space, *(*Prep)->Objective, WOpts);
+}
+
+Expected<SearchWorkflowResult> Orchestrator::runSearch() {
+  SearchWorkflowResult Result;
+
+  auto PrepOr = prepareSearch();
+  if (!PrepOr.ok())
+    return Expected<SearchWorkflowResult>::error(PrepOr.message());
+  PreparedSearch &Prep = **PrepOr;
+  Result.Space = Prep.Space;
+  Result.BaselineCycles = Prep.BaselineCycles;
+  bool BaselineRunnable = Prep.BaselineRunnable;
+  std::optional<eval::RunResult> &BaseRun = Prep.BaseRun;
 
   // Drive the search module.
   std::unique_ptr<search::Searcher> Searcher =
@@ -363,33 +422,43 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
   if (!Searcher)
     return Expected<SearchWorkflowResult>::error("unknown search module: " +
                                                  Opts.SearcherName);
-  // Cache selection: plain in-memory, or the durable store when a cache
-  // directory is configured. The persistent cache never fails construction
-  // (any store problem degrades it to in-memory with a warning), so the
-  // search proceeds either way.
-  search::EvalCache MemCache;
-  std::unique_ptr<search::PersistentEvalCache> DiskCache;
-  search::VariantOutcomeCache *Cache = nullptr;
-  if (Opts.UseEvalCache) {
-    if (!Opts.CacheDir.empty()) {
-      search::PersistentCacheOptions PCOpts;
-      PCOpts.Dir = Opts.CacheDir;
-      PCOpts.ReadOnly = Opts.CacheReadOnly;
-      DiskCache = std::make_unique<search::PersistentEvalCache>(PCOpts);
-      Cache = DiskCache.get();
-    } else {
-      Cache = &MemCache;
-    }
+
+  // Serve mode: stand up the coordinator and dispatch assessments through
+  // the durable queue. The local objective stays alive as the degradation
+  // fallback, so the search finishes even if every worker dies.
+  std::unique_ptr<service::Coordinator> Coord;
+  std::unique_ptr<service::DistributedObjective> Dist;
+  bool ServeMode = !Opts.Serve.QueueDir.empty();
+  if (ServeMode) {
+    service::CoordinatorOptions COpts = Opts.Serve;
+    COpts.SpaceFingerprint = Result.Space.fingerprint();
+    COpts.ConfigDigest =
+        search::journalConfigDigest(Opts.SearcherName, Opts.Seed);
+    COpts.StopFlag = Opts.StopFlag;
+    auto C = service::Coordinator::start(std::move(COpts));
+    if (!C.ok())
+      return Expected<SearchWorkflowResult>::error(C.message());
+    Coord = std::move(*C);
+    Dist = std::make_unique<service::DistributedObjective>(*Coord,
+                                                           *Prep.Objective);
+    Result.Served = true;
   }
-  VariantObjective Obj(program(), Registry, Baseline, Opts, BaselineChecksum,
-                       DeadlineIterations, NativeTimeoutSeconds, Cache);
+  search::Objective &Inner = Dist ? static_cast<search::Objective &>(*Dist)
+                                  : *Prep.Objective;
   // Guards 2+3: bounded retry of unstable metrics, quarantine of repeat
-  // offenders.
-  search::GuardedObjective Guarded(Obj, Opts.Guard);
+  // offenders. Wrapping the *distributed* objective keeps guard decisions
+  // on the coordinator, fed by the same outcomes the local run would see.
+  search::GuardedObjective Guarded(Inner, Opts.Guard);
   search::SearchOptions SOpts;
   SOpts.MaxEvaluations = Opts.MaxEvaluations;
   SOpts.Seed = Opts.Seed;
-  SOpts.Jobs = Opts.Jobs;
+  // Serve mode needs enough pool threads to keep a whole speculative batch
+  // in flight across the workers; batch widths (and thus the trajectory)
+  // are fixed per searcher, independent of Jobs.
+  SOpts.Jobs = ServeMode
+                   ? std::max(1, std::max(Opts.Jobs, Opts.Serve.Workers))
+                   : Opts.Jobs;
+  SOpts.StopFlag = Opts.StopFlag;
 
   // Static legality oracle: classify points against the recorded plan
   // before a variant is materialized. Replay goes through the same module
@@ -421,7 +490,7 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
       lang::ModuleCallContext Ctx{&Region, &Prog, &ReplayCtx};
       return M->Fn(MArgs, Ctx).Result;
     };
-    Oracle.emplace(Baseline, Result.Space, std::move(Plan),
+    Oracle.emplace(Baseline, Result.Space, std::move(Prep.Plan),
                    std::move(Invoker));
     SOpts.StaticFilter = [&Oracle](const search::Point &P) {
       return Oracle->classify(P);
@@ -466,14 +535,20 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
 
   Result.Search = Searcher->search(Result.Space, Guarded, SOpts);
   Result.Guard = Guarded.stats();
-  if (Cache) {
-    search::EvalCacheStats CStats = Cache->stats();
+  if (Coord) {
+    // Append the shutdown record and wind the fleet down before reading
+    // final stats; the queue dir stays behind as the recoverable record.
+    Coord->shutdown();
+    Result.Service = Coord->stats();
+  }
+  if (Prep.Cache) {
+    search::EvalCacheStats CStats = Prep.Cache->stats();
     Result.Search.CacheHits = CStats.Hits;
     Result.Search.CacheMisses = CStats.Misses;
     Result.Search.CacheDedupSaves = CStats.DedupSaves;
   }
-  if (DiskCache) {
-    search::PersistentCacheStats PStats = DiskCache->persistentStats();
+  if (Prep.DiskCache) {
+    search::PersistentCacheStats PStats = Prep.DiskCache->persistentStats();
     Result.Search.CacheLoadedPersistent = PStats.LoadedEntries;
     Result.Search.CachePersistedAppends = PStats.AppendedEntries;
     Result.Search.CacheWarnings = PStats.Warnings;
@@ -490,7 +565,7 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
     Result.BaselineChosen = true;
     Result.BestProgram = Baseline.clone();
     Result.BestCycles = Result.BaselineCycles;
-    if (BaseRun.ok()) // under NativeMetric the simulator run may be absent
+    if (BaseRun) // under NativeMetric the simulator run may be absent
       Result.BestRun = *BaseRun;
     Result.Speedup = 1.0;
     return Result;

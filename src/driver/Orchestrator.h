@@ -26,6 +26,8 @@
 #include "src/search/FaultTolerance.h"
 #include "src/search/Journal.h"
 #include "src/search/Search.h"
+#include "src/service/Coordinator.h"
+#include "src/service/Worker.h"
 
 #include <cstdlib>
 #include <functional>
@@ -139,6 +141,16 @@ struct OrchestratorOptions {
   /// illegal transform. Defaults on when LOCUS_VERIFY_EACH is set in the
   /// environment (the sanitizer test presets set it).
   bool VerifyEach = std::getenv("LOCUS_VERIFY_EACH") != nullptr;
+  /// Tuning-service coordinator configuration (the CLI's --serve). Serve
+  /// mode is on when Serve.QueueDir is non-empty: each proposal batch is
+  /// dispatched to worker processes through the durable queue instead of
+  /// in-process pool threads. runSearch fills Serve.SpaceFingerprint,
+  /// Serve.ConfigDigest and Serve.StopFlag itself.
+  service::CoordinatorOptions Serve;
+  /// Cooperative stop flag (support::shutdownFlag()), threaded into
+  /// SearchOptions::StopFlag and the coordinator for graceful
+  /// SIGTERM/SIGINT shutdown with partial results.
+  const std::atomic<bool> *StopFlag = nullptr;
 };
 
 /// Result of the direct workflow.
@@ -163,6 +175,9 @@ struct SearchWorkflowResult {
   eval::RunResult BestRun;
   /// Guard activity during the search (retries, quarantines).
   search::GuardStats Guard;
+  /// Tuning-service activity (valid when Served).
+  service::ServiceStats Service;
+  bool Served = false;
 };
 
 class Orchestrator {
@@ -179,6 +194,13 @@ public:
   /// Applies one pinned point (re-running an exported direct recipe).
   Expected<DirectResult> runPoint(const search::Point &Point);
 
+  /// Runs the worker side of the tuning service: builds the exact
+  /// deterministic objective the in-process search would use (same space,
+  /// baseline reference, deadline, and evaluation cache) and serves queue
+  /// tasks with it until the shutdown record. WOpts.SpaceFingerprint is
+  /// filled from the extracted space when zero.
+  Expected<service::WorkerStats> runWorker(service::WorkerOptions WOpts);
+
   /// Evaluates the unmodified baseline.
   Expected<eval::RunResult> evaluateBaseline();
 
@@ -194,6 +216,11 @@ private:
   Expected<eval::RunResult> evaluate(const cir::Program &P);
   /// The (possibly optimized) program used for interpretation.
   const lang::LocusProgram &program();
+  /// Everything runSearch and runWorker share: extracted space, baseline
+  /// reference, per-variant deadline, evaluation cache, and the
+  /// deterministic variant objective built on them.
+  struct PreparedSearch;
+  Expected<std::unique_ptr<PreparedSearch>> prepareSearch();
 
   const lang::LocusProgram &LProg;
   const cir::Program &Baseline;

@@ -25,6 +25,7 @@
 #include "src/support/Rng.h"
 
 #include <array>
+#include <atomic>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -178,10 +179,20 @@ struct SearchOptions {
   /// seeded trajectory is bit-identical to the Jobs=1 run (batch widths are
   /// fixed per searcher, independent of Jobs). 1 evaluates inline.
   int Jobs = 1;
+  /// Cooperative stop: when non-null and set, the evaluation driver reports
+  /// the budget as exhausted at the next between-iterations check. The
+  /// searcher then unwinds normally — the journal's last record is complete
+  /// and synced, partial results are returned, SearchResult::Stopped is set.
+  /// Wire support::shutdownFlag() here for SIGTERM/SIGINT graceful
+  /// shutdown.
+  const std::atomic<bool> *StopFlag = nullptr;
 };
 
 struct SearchResult {
   bool Found = false;
+  /// True when the run ended because SearchOptions::StopFlag was raised
+  /// rather than by exhausting MaxEvaluations or the space.
+  bool Stopped = false;
   Point Best;
   double BestMetric = std::numeric_limits<double>::infinity();
   int Evaluations = 0;         ///< distinct variants assessed (incl. replay)

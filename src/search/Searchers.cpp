@@ -197,7 +197,16 @@ public:
     Result.PoolJobs = Pool.jobs();
   }
 
-  bool budgetLeft() const { return Result.Evaluations < Opts.MaxEvaluations; }
+  bool budgetLeft() const {
+    // Cooperative shutdown reads as budget exhaustion: every searcher loop
+    // already terminates cleanly on a spent budget, so one check here stops
+    // all of them between iterations with the journal intact.
+    if (Opts.StopFlag && Opts.StopFlag->load(std::memory_order_relaxed)) {
+      Result.Stopped = true;
+      return false;
+    }
+    return Result.Evaluations < Opts.MaxEvaluations;
+  }
 
   /// Evaluates a batch of proposals. Duplicates (of earlier evaluations or
   /// of earlier entries in the same batch) are served from the memo;

@@ -1,0 +1,164 @@
+//===- Worker.cpp - Tuning-service worker loop ----------------------------===//
+
+#include "src/service/Worker.h"
+
+#include "src/search/PointCodec.h"
+
+#include <atomic>
+#include <chrono>
+#include <ctime>
+#include <sstream>
+#include <sys/stat.h>
+#include <thread>
+
+namespace locus {
+namespace service {
+
+namespace {
+
+double monotonicSeconds() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<double>(Ts.tv_sec) +
+         1e-9 * static_cast<double>(Ts.tv_nsec);
+}
+
+bool stopRequested(const WorkerOptions &Opts) {
+  return Opts.StopFlag && Opts.StopFlag->load(std::memory_order_relaxed);
+}
+
+void sleepSeconds(double S) {
+  std::this_thread::sleep_for(std::chrono::duration<double>(S));
+}
+
+/// Heartbeats Task/Epoch every HeartbeatSeconds until told to stop, in
+/// 10 ms slices so joining is prompt once the evaluation finishes.
+class HeartbeatPump {
+public:
+  HeartbeatPump(TaskQueue &Q, uint64_t Id, uint64_t Epoch,
+                const WorkerOptions &Opts, uint64_t &Beats)
+      : T([&Q, Id, Epoch, &Opts, &Beats, this] {
+          double Last = monotonicSeconds();
+          uint64_t Sent = 0;
+          while (!Stop.load(std::memory_order_relaxed)) {
+            sleepSeconds(0.01);
+            double Now = monotonicSeconds();
+            if (Now - Last < Opts.HeartbeatSeconds)
+              continue;
+            if (Opts.MaxHeartbeatsPerTask >= 0 &&
+                Sent >= static_cast<uint64_t>(Opts.MaxHeartbeatsPerTask))
+              continue; // simulated stall: lease goes silent
+            if (Q.heartbeat(Id, Epoch, Opts.WorkerId).ok()) {
+              ++Sent;
+              ++Beats;
+            }
+            Last = Now;
+          }
+        }) {}
+  ~HeartbeatPump() {
+    Stop.store(true);
+    if (T.joinable())
+      T.join();
+  }
+
+private:
+  std::atomic<bool> Stop{false};
+  std::thread T;
+};
+
+} // namespace
+
+Expected<WorkerStats> runWorker(const search::Space &Space,
+                                search::Objective &Obj,
+                                const WorkerOptions &Opts) {
+  using Ret = Expected<WorkerStats>;
+  if (Opts.QueueDir.empty())
+    return Ret::error("worker requires --queue-dir");
+
+  // The coordinator creates the log; wait for it rather than racing to
+  // write a header of our own.
+  std::string LogPath = TaskQueue::queueFilePath(Opts.QueueDir);
+  for (;;) {
+    struct stat St;
+    if (::stat(LogPath.c_str(), &St) == 0)
+      break;
+    if (stopRequested(Opts))
+      return Ret::error("worker stopped before queue " + LogPath + " existed");
+    sleepSeconds(Opts.PollSeconds);
+  }
+
+  TaskQueueOptions QOpts;
+  QOpts.Dir = Opts.QueueDir;
+  QOpts.RequireHeaderMatch = false;
+  auto Q = TaskQueue::open(QOpts);
+  if (!Q.ok())
+    return Ret::error(Q.message());
+  TaskQueue Queue = std::move(*Q);
+
+  auto Header = parseQueueHeader(Queue.header());
+  if (!Header.ok())
+    return Ret::error("queue " + LogPath +
+                      " has no valid service header: " + Header.message());
+  if (Opts.SpaceFingerprint != 0 &&
+      Header->SpaceFingerprint != Opts.SpaceFingerprint) {
+    std::ostringstream Os;
+    Os << "queue " << LogPath << " was written for space fingerprint "
+       << std::hex << Header->SpaceFingerprint << " but this worker built "
+       << Opts.SpaceFingerprint << "; refusing to evaluate foreign points";
+    return Ret::error(Os.str());
+  }
+
+  WorkerStats Stats;
+  QueueState State;
+  while (true) {
+    if (stopRequested(Opts))
+      break;
+    if (auto Folded = Queue.poll(State); !Folded.ok())
+      return Ret::error(Folded.message());
+    if (State.ShutdownSeen)
+      break;
+    const TaskState *T = State.firstClaimable();
+    if (!T) {
+      sleepSeconds(Opts.PollSeconds);
+      continue;
+    }
+
+    uint64_t Id = T->Id;
+    uint64_t Epoch = T->Epoch;
+    std::string PointText = T->PointText;
+    if (Status S = Queue.claim(Id, Epoch, Opts.WorkerId); !S.ok())
+      return Ret::error(S.message());
+    if (auto Folded = Queue.poll(State); !Folded.ok())
+      return Ret::error(Folded.message());
+    T = State.find(Id);
+    if (!T || T->Done || T->Epoch != Epoch ||
+        T->LeaseWorker != Opts.WorkerId) {
+      ++Stats.ClaimsLost; // someone else's lease landed first
+      continue;
+    }
+
+    if (Opts.OnClaim)
+      Opts.OnClaim(Id);
+
+    search::EvalOutcome Out;
+    {
+      HeartbeatPump Pump(Queue, Id, Epoch, Opts, Stats.Heartbeats);
+      auto P = search::deserializePoint(PointText, Space);
+      if (!P.ok())
+        Out = search::EvalOutcome::fail(search::FailureKind::InvalidPoint,
+                                        "worker could not decode point: " +
+                                            P.message());
+      else
+        Out = Obj.assess(*P);
+    }
+    if (Status S = Queue.postResult(Id, Epoch, Opts.WorkerId, Out); !S.ok())
+      return Ret::error(S.message());
+    ++Stats.TasksEvaluated;
+    if (Opts.MaxTasks != 0 && Stats.TasksEvaluated >= Opts.MaxTasks)
+      break;
+  }
+  return Stats;
+}
+
+} // namespace service
+} // namespace locus

@@ -2,6 +2,8 @@
 
 #include "src/support/RecordLog.h"
 
+#include "src/support/Posix.h"
+
 #include <array>
 #include <atomic>
 #include <cerrno>
@@ -57,54 +59,25 @@ Status errnoStatus(const std::string &What, const std::string &Path) {
 }
 
 int openLockFile(const std::string &Path) {
-  return ::open((Path + ".lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  return retryOpen((Path + ".lock").c_str(), O_RDWR | O_CREAT | O_CLOEXEC,
+                   0644);
 }
 
-/// Blocking flock, EINTR-safe. Fd < 0 is tolerated (lockless degradation for
-/// readers on unwritable directories).
-void flockRetry(int Fd, int Op) {
-  if (Fd < 0)
-    return;
-  while (::flock(Fd, Op) != 0 && errno == EINTR) {
-  }
-}
+/// Blocking flock via the shared EINTR-safe wrapper; Fd < 0 is tolerated
+/// (lockless degradation for readers on unwritable directories).
+void flockRetry(int Fd, int Op) { (void)retryFlock(Fd, Op); }
 
 bool writeAll(int Fd, const char *Data, size_t Size, size_t *Written) {
-  size_t Done = 0;
-  while (Done < Size) {
-    ssize_t N = ::write(Fd, Data + Done, Size - Done);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
-    }
-    if (N == 0)
-      break;
-    Done += static_cast<size_t>(N);
-  }
-  if (Written)
-    *Written = Done;
-  return Done == Size;
+  return retryWriteAll(Fd, Data, Size, Written);
 }
 
 bool readWholeFd(int Fd, std::string &Out) {
   Out.clear();
-  char Buf[1 << 16];
-  for (;;) {
-    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    if (N == 0)
-      return true;
-    Out.append(Buf, static_cast<size_t>(N));
-  }
+  return retryReadToEnd(Fd, Out);
 }
 
 Status fsyncDirOf(const std::string &Path) {
-  int Fd = ::open(dirnameOf(Path).c_str(), O_RDONLY | O_CLOEXEC);
+  int Fd = retryOpen(dirnameOf(Path).c_str(), O_RDONLY | O_CLOEXEC);
   if (Fd < 0)
     return errnoStatus("cannot open directory of", Path);
   int Rc = ::fsync(Fd);
@@ -349,7 +322,8 @@ Expected<RecordLog> RecordLog::open(const std::string &Path,
   // live file is still authoritative, the temp is garbage.
   ::unlink((Path + CompactTmpSuffix).c_str());
 
-  Log.Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  Log.Fd = retryOpen(Path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                     0644);
   if (Log.Fd < 0)
     return Fail("cannot open " + Path + " for append: " +
                 std::strerror(errno));
@@ -403,7 +377,7 @@ Status RecordLog::reopenIfReplaced() {
     return Status::success();
   // A compaction renamed a new file over the path; appending to the old
   // unlinked inode would lose the record. Switch to the new one.
-  int NewFd = ::open(Path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
+  int NewFd = retryOpen(Path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
   if (NewFd < 0)
     return errnoStatus("cannot reopen compacted", Path);
   ::close(Fd);
@@ -462,7 +436,7 @@ Status RecordLog::compact(const std::vector<std::string> &Records) {
 
   std::string Tmp = Path + CompactTmpSuffix;
   int TmpFd =
-      ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+      retryOpen(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (TmpFd < 0)
     return Done(errnoStatus("cannot create compaction file", Tmp));
   std::string Image = encodeHeaderBlock(Header);
@@ -482,7 +456,7 @@ Status RecordLog::compact(const std::vector<std::string> &Records) {
   // Make the rename itself durable before anyone appends to the new file.
   if (Status S = fsyncDirOf(Path); !S.ok())
     return Done(S);
-  int NewFd = ::open(Path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
+  int NewFd = retryOpen(Path.c_str(), O_RDWR | O_APPEND | O_CLOEXEC);
   if (NewFd < 0)
     return Done(errnoStatus("cannot reopen compacted", Path));
   ::close(Fd);
@@ -491,7 +465,7 @@ Status RecordLog::compact(const std::vector<std::string> &Records) {
 }
 
 Expected<RecordLogScan> RecordLog::scan(const std::string &Path) {
-  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  int Fd = retryOpen(Path.c_str(), O_RDONLY | O_CLOEXEC);
   if (Fd < 0) {
     if (errno == ENOENT)
       return RecordLogScan{}; // a missing log is an empty log

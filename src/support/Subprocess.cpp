@@ -2,6 +2,8 @@
 
 #include "src/support/Subprocess.h"
 
+#include "src/support/Posix.h"
+
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
@@ -14,6 +16,9 @@
 #include <signal.h>
 #include <sys/resource.h>
 #include <sys/stat.h>
+#ifdef __linux__
+#include <sys/prctl.h>
+#endif
 #include <sys/time.h>
 #include <sys/types.h>
 #include <sys/wait.h>
@@ -61,11 +66,11 @@ void applyLimits(const SubprocessLimits &L) {
 bool drainPipe(int Fd, std::string &Sink, size_t Cap, bool &Truncated) {
   char Buf[65536];
   for (;;) {
-    ssize_t N = read(Fd, Buf, sizeof(Buf));
+    ssize_t N = retryRead(Fd, Buf, sizeof(Buf));
     if (N == 0)
       return false;
     if (N < 0)
-      return errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR;
+      return errno == EAGAIN || errno == EWOULDBLOCK;
     size_t Got = static_cast<size_t>(N);
     size_t Take = Sink.size() < Cap ? std::min(Got, Cap - Sink.size()) : 0;
     Sink.append(Buf, Take);
@@ -278,8 +283,8 @@ SubprocessResult runSubprocess(const SubprocessOptions &Opts) {
       nanosleep(&Ts, nullptr);
       continue;
     }
-    int PollRet = poll(Fds, N, TimeoutMs);
-    if (PollRet < 0 && errno != EINTR)
+    int PollRet = retryPoll(Fds, N, TimeoutMs);
+    if (PollRet < 0)
       break;
     for (nfds_t I = 0; I < N; ++I) {
       if (!(Fds[I].revents & (POLLIN | POLLHUP | POLLERR)))
@@ -299,9 +304,11 @@ SubprocessResult runSubprocess(const SubprocessOptions &Opts) {
   if (ErrOpen)
     close(ErrPipe[0]);
   if (!Reaped) {
-    // Loop exited abnormally (poll error): make sure the child dies.
+    // Loop exited abnormally (poll error): make sure the child dies. The
+    // EINTR-safe wait matters here — a signal landing mid-reap would leave
+    // the child a zombie and WaitStatus uninitialized.
     signalGroup(Pid, SIGKILL);
-    waitpid(Pid, &WaitStatus, 0);
+    retryWaitpid(Pid, &WaitStatus, 0);
   }
   // Sweep stragglers: any group member still alive after the child was
   // reaped (killed-but-lingering descendants on the timeout path, or
@@ -313,7 +320,7 @@ SubprocessResult runSubprocess(const SubprocessOptions &Opts) {
 
   // Spawn failure takes priority: errno arrives through the CLOEXEC pipe.
   int ExecErr = 0;
-  ssize_t StatusN = read(StatusPipe[0], &ExecErr, sizeof(ExecErr));
+  ssize_t StatusN = retryRead(StatusPipe[0], &ExecErr, sizeof(ExecErr));
   close(StatusPipe[0]);
   if (StatusN == static_cast<ssize_t>(sizeof(ExecErr))) {
     Res.Exit = SpawnExit::SpawnFailed;
@@ -331,6 +338,169 @@ SubprocessResult runSubprocess(const SubprocessOptions &Opts) {
   if (TimedOut)
     Res.Exit = SpawnExit::TimedOut; // deadline classification wins
   return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// ChildProcess
+//===----------------------------------------------------------------------===//
+
+ChildProcess::~ChildProcess() { kill(); }
+
+ChildProcess::ChildProcess(ChildProcess &&Other) noexcept
+    : Pid(Other.Pid), Reaped(Other.Reaped), WaitStatus(Other.WaitStatus) {
+  Other.Pid = -1;
+}
+
+ChildProcess &ChildProcess::operator=(ChildProcess &&Other) noexcept {
+  if (this != &Other) {
+    kill();
+    Pid = Other.Pid;
+    Reaped = Other.Reaped;
+    WaitStatus = Other.WaitStatus;
+    Other.Pid = -1;
+  }
+  return *this;
+}
+
+Expected<ChildProcess> ChildProcess::spawn(const ChildProcessOptions &Opts) {
+  if (Opts.Argv.empty())
+    return Expected<ChildProcess>::error("empty argv");
+
+  int StatusPipe[2];
+  if (pipe(StatusPipe) != 0 ||
+      fcntl(StatusPipe[1], F_SETFD, FD_CLOEXEC) != 0)
+    return Expected<ChildProcess>::error(std::string("pipe: ") +
+                                         std::strerror(errno));
+
+  std::vector<char *> Argv;
+  Argv.reserve(Opts.Argv.size() + 1);
+  for (const std::string &A : Opts.Argv)
+    Argv.push_back(const_cast<char *>(A.c_str()));
+  Argv.push_back(nullptr);
+
+  pid_t ParentPid = getpid();
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    int Err = errno;
+    close(StatusPipe[0]);
+    close(StatusPipe[1]);
+    return Expected<ChildProcess>::error(std::string("fork: ") +
+                                         std::strerror(Err));
+  }
+
+  if (Pid == 0) {
+    // Child: own group (group-kill supervision), then bind its lifetime to
+    // the parent's so a SIGKILLed supervisor cannot orphan it.
+    setpgid(0, 0);
+    close(StatusPipe[0]);
+    auto Die = [&](int Err) {
+      ssize_t Ignored = write(StatusPipe[1], &Err, sizeof(Err));
+      (void)Ignored;
+      _exit(127);
+    };
+#ifdef __linux__
+    if (Opts.KillOnParentDeath) {
+      prctl(PR_SET_PDEATHSIG, SIGKILL);
+      // Close the fork/prctl race: if the parent died before the death
+      // signal was armed, the child has been reparented already.
+      if (getppid() != ParentPid)
+        Die(ESRCH);
+    }
+#else
+    (void)ParentPid;
+#endif
+    int DevNull = open("/dev/null", O_RDONLY);
+    if (DevNull >= 0)
+      dup2(DevNull, STDIN_FILENO);
+    if (!Opts.OutputPath.empty()) {
+      int Out = open(Opts.OutputPath.c_str(),
+                     O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+      if (Out < 0)
+        Die(errno);
+      dup2(Out, STDOUT_FILENO);
+      dup2(Out, STDERR_FILENO);
+      close(Out);
+    }
+    if (!Opts.WorkDir.empty() && chdir(Opts.WorkDir.c_str()) != 0)
+      Die(errno);
+    execvp(Argv[0], Argv.data());
+    Die(errno);
+  }
+
+  // Parent: mirror setpgid (same race as runSubprocess), then block on the
+  // status pipe — EOF means the exec succeeded.
+  setpgid(Pid, Pid);
+  close(StatusPipe[1]);
+  int ExecErr = 0;
+  ssize_t StatusN = retryRead(StatusPipe[0], &ExecErr, sizeof(ExecErr));
+  close(StatusPipe[0]);
+  if (StatusN == static_cast<ssize_t>(sizeof(ExecErr))) {
+    int IgnoredStatus = 0;
+    retryWaitpid(Pid, &IgnoredStatus, 0); // reap the _exit(127) child
+    return Expected<ChildProcess>::error(Opts.Argv[0] + ": " +
+                                         std::strerror(ExecErr));
+  }
+
+  ChildProcess CP;
+  CP.Pid = Pid;
+  return CP;
+}
+
+bool ChildProcess::running() {
+  if (Pid <= 0)
+    return false;
+  if (!Reaped && retryWaitpid(Pid, &WaitStatus, WNOHANG) == Pid)
+    Reaped = true;
+  return !Reaped;
+}
+
+int ChildProcess::exitCode() const {
+  return Reaped && WIFEXITED(WaitStatus) ? WEXITSTATUS(WaitStatus) : -1;
+}
+
+int ChildProcess::signal() const {
+  return Reaped && WIFSIGNALED(WaitStatus) ? WTERMSIG(WaitStatus) : 0;
+}
+
+std::string ChildProcess::describeExit() const {
+  if (Pid <= 0)
+    return "never spawned";
+  if (!Reaped)
+    return "still running";
+  if (WIFEXITED(WaitStatus))
+    return "exited " + std::to_string(WEXITSTATUS(WaitStatus));
+  if (WIFSIGNALED(WaitStatus))
+    return "killed by " + signalName(WTERMSIG(WaitStatus));
+  return "unknown exit";
+}
+
+void ChildProcess::signalGroup(int Sig) {
+  if (Pid > 0 && !Reaped && ::kill(-Pid, Sig) != 0)
+    ::kill(Pid, Sig);
+}
+
+bool ChildProcess::waitExit(double TimeoutSeconds) {
+  double Deadline = monotonicSeconds() + TimeoutSeconds;
+  while (running()) {
+    if (monotonicSeconds() >= Deadline)
+      return false;
+    struct timespec Ts = {0, 5 * 1000000};
+    nanosleep(&Ts, nullptr);
+  }
+  return Pid > 0;
+}
+
+void ChildProcess::kill() {
+  if (Pid <= 0)
+    return;
+  if (!Reaped) {
+    if (::kill(-Pid, SIGKILL) != 0)
+      ::kill(Pid, SIGKILL);
+    retryWaitpid(Pid, &WaitStatus, 0);
+    Reaped = true;
+  }
+  // Sweep group stragglers the child never waited for.
+  ::kill(-Pid, SIGKILL);
 }
 
 //===----------------------------------------------------------------------===//

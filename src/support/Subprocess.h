@@ -28,8 +28,11 @@
 #ifndef LOCUS_SUPPORT_SUBPROCESS_H
 #define LOCUS_SUPPORT_SUBPROCESS_H
 
+#include "src/support/Error.h"
+
 #include <cstdint>
 #include <string>
+#include <sys/types.h>
 #include <vector>
 
 namespace locus {
@@ -97,6 +100,71 @@ SubprocessResult runSubprocess(const SubprocessOptions &Opts);
 /// Stable name of a signal number ("SIGSEGV", "SIGKILL", ...); "signal N"
 /// for numbers without a well-known name.
 std::string signalName(int Sig);
+
+/// Spawn options for a supervised (non-blocking) child; see ChildProcess.
+struct ChildProcessOptions {
+  /// Argv[0] resolved through PATH; never a shell string.
+  std::vector<std::string> Argv;
+  /// Child working directory; empty inherits the parent's.
+  std::string WorkDir;
+  /// File receiving the child's stdout+stderr (opened O_APPEND so respawns
+  /// of the same worker slot share one log); empty inherits the parent's
+  /// streams.
+  std::string OutputPath;
+  /// Linux: arm PR_SET_PDEATHSIG so the kernel SIGKILLs the child the
+  /// moment this process dies. Workers run in their own process groups (so
+  /// a watchdog group-kill cannot miss their descendants), which also means
+  /// a SIGKILLed coordinator would orphan them — the death signal is what
+  /// guarantees the crash-torture suite never leaks a worker fleet.
+  bool KillOnParentDeath = true;
+};
+
+/// A long-lived supervised child, the asynchronous sibling of
+/// runSubprocess: spawn returns immediately and the owner polls running()
+/// from its supervision loop. Exec failures are still reported
+/// synchronously through the CLOEXEC status pipe. The destructor SIGKILLs
+/// the child's whole process group and reaps it, so a ChildProcess can
+/// never leak a running worker. Movable, not copyable.
+class ChildProcess {
+public:
+  ChildProcess() = default;
+  ~ChildProcess();
+  ChildProcess(ChildProcess &&Other) noexcept;
+  ChildProcess &operator=(ChildProcess &&Other) noexcept;
+  ChildProcess(const ChildProcess &) = delete;
+  ChildProcess &operator=(const ChildProcess &) = delete;
+
+  /// Forks and execs; the child gets its own process group. Fails only for
+  /// fork/pipe/exec-level problems (a child that starts and then dies is a
+  /// *death*, observed via running(), not a spawn failure).
+  static Expected<ChildProcess> spawn(const ChildProcessOptions &Opts);
+
+  bool valid() const { return Pid > 0; }
+  pid_t pid() const { return Pid; }
+  /// Non-blocking liveness probe; reaps and caches the exit when the child
+  /// is gone.
+  bool running();
+  /// True once the child has been reaped (running() returned false).
+  bool exited() const { return Pid > 0 && Reaped; }
+  /// Exit code when the child exited normally, else -1.
+  int exitCode() const;
+  /// Terminating signal when the child was killed, else 0.
+  int signal() const;
+  /// "exited 0", "killed by SIGKILL", "still running", ...
+  std::string describeExit() const;
+  /// Signals the child's whole process group (child alone if the group is
+  /// already gone).
+  void signalGroup(int Sig);
+  /// Waits up to TimeoutSeconds for the child to exit; true when reaped.
+  bool waitExit(double TimeoutSeconds);
+  /// SIGKILLs the group and reaps; idempotent.
+  void kill();
+
+private:
+  pid_t Pid = -1;
+  bool Reaped = false;
+  int WaitStatus = 0;
+};
 
 /// True when setrlimit is usable on this host (the sandbox degrades to
 /// timeout-only supervision when it is not).
