@@ -1,0 +1,214 @@
+//===- ranges_bench.cpp - Range-analysis perf snapshot -----------------------===//
+//
+// Times the symbolic range analysis over the kernel corpus (bounds proofs
+// per PolyBench kernel) and measures what range-driven pruning buys a
+// dependent-range search: the same dgemm tile search run with the legality
+// oracle on and off, comparing objective invocations and wall time under an
+// identical trajectory. Produces the per-PR perf snapshot BENCH_ranges.json.
+//
+// Knobs: LOCUS_BENCH_SIZE   (problem size N, default 40),
+//        LOCUS_BENCH_BUDGET (search assessments, default 48),
+//        LOCUS_BENCH_JSON   (output path, default BENCH_ranges.json;
+//                            empty string disables the JSON write).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "src/analysis/RangeAnalysis.h"
+#include "src/cir/Parser.h"
+#include "src/driver/Orchestrator.h"
+#include "src/locus/LocusParser.h"
+#include "src/workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+using namespace locus;
+using bench::banner;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+struct KernelRow {
+  std::string Name;
+  int Checked = 0;
+  int Proven = 0;
+  int Violations = 0;
+  int Unproven = 0;
+  double CheckMs = 0;
+};
+
+struct PruneRow {
+  std::string Searcher;
+  int Evaluations = 0;
+  int PrunedByRange = 0;
+  int ObjectiveCallsOn = 0;  ///< evaluations that reached the objective
+  int ObjectiveCallsOff = 0;
+  double SearchMsOn = 0;
+  double SearchMsOff = 0;
+};
+
+void writeJson(const std::string &Path, int N, int Budget,
+               const std::vector<KernelRow> &Rows,
+               const std::vector<PruneRow> &Prunes) {
+  if (Path.empty())
+    return;
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+    return;
+  }
+  std::fprintf(F, "{\n  \"bench\": \"ranges\",\n");
+  std::fprintf(F, "  \"problem_size\": %d,\n  \"search_budget\": %d,\n", N,
+               Budget);
+  std::fprintf(F, "  \"bounds_proofs\": [\n");
+  for (size_t I = 0; I < Rows.size(); ++I) {
+    const KernelRow &R = Rows[I];
+    std::fprintf(F,
+                 "    {\"kernel\": \"%s\", \"subscripts\": %d, "
+                 "\"proven\": %d, \"violations\": %d, \"unproven\": %d, "
+                 "\"check_ms\": %.3f}%s\n",
+                 R.Name.c_str(), R.Checked, R.Proven, R.Violations, R.Unproven,
+                 R.CheckMs, I + 1 < Rows.size() ? "," : "");
+  }
+  std::fprintf(F, "  ],\n");
+  std::fprintf(F, "  \"range_prune\": [\n");
+  for (size_t I = 0; I < Prunes.size(); ++I) {
+    const PruneRow &P = Prunes[I];
+    std::fprintf(F,
+                 "    {\"searcher\": \"%s\", \"evaluations\": %d, "
+                 "\"pruned_by_range\": %d, \"objective_calls_on\": %d, "
+                 "\"objective_calls_off\": %d, \"search_ms_on\": %.3f, "
+                 "\"search_ms_off\": %.3f}%s\n",
+                 P.Searcher.c_str(), P.Evaluations, P.PrunedByRange,
+                 P.ObjectiveCallsOn, P.ObjectiveCallsOff, P.SearchMsOn,
+                 P.SearchMsOff, I + 1 < Prunes.size() ? "," : "");
+  }
+  std::fprintf(F, "  ]\n}\n");
+  std::fclose(F);
+  std::printf("\nwrote %s\n", Path.c_str());
+}
+
+const char *DependentRangeProgram = R"(
+Search {
+  buildcmd = "make";
+  runcmd = "./matmul";
+}
+
+CodeReg matmul {
+  tile = poweroftwo(2..32);
+  tf = poweroftwo(2..tile);
+  RoseLocus.Tiling(loop="0", factor=tile);
+}
+)";
+
+driver::SearchWorkflowResult runTileSearch(const std::string &Searcher,
+                                           bool Prune, int Budget,
+                                           double &OutMs) {
+  auto LP = lang::parseLocusProgram(DependentRangeProgram);
+  auto CP = cir::parseProgram(workloads::dgemmSource(32, 32, 32));
+  if (!LP.ok() || !CP.ok()) {
+    std::fprintf(stderr, "fatal: bench inputs failed to parse\n");
+    std::exit(1);
+  }
+  driver::OrchestratorOptions Opts;
+  Opts.Eval.Machine = machine::MachineConfig::tiny();
+  Opts.MaxEvaluations = Budget;
+  Opts.Seed = 11;
+  Opts.SearcherName = Searcher;
+  Opts.StaticPrune = Prune;
+  driver::Orchestrator Orch(**LP, **CP, Opts);
+  auto Start = std::chrono::steady_clock::now();
+  auto R = Orch.runSearch();
+  OutMs = msSince(Start);
+  if (!R.ok()) {
+    std::fprintf(stderr, "fatal: search failed: %s\n", R.message().c_str());
+    std::exit(1);
+  }
+  return std::move(*R);
+}
+
+void runRangesBench() {
+  int N = bench::envInt("LOCUS_BENCH_SIZE", 40);
+  int Budget = bench::envInt("LOCUS_BENCH_BUDGET", 48);
+  const char *JsonEnv = std::getenv("LOCUS_BENCH_JSON");
+  std::string JsonPath = JsonEnv ? JsonEnv : "BENCH_ranges.json";
+
+  banner("Range analysis: corpus bounds proofs + range-driven pruning");
+  std::printf("problem size %d, search budget %d\n\n", N, Budget);
+
+  std::vector<KernelRow> Rows;
+  std::printf("%-8s %10s %8s %10s %9s %9s\n", "kernel", "subscripts", "proven",
+              "violations", "unproven", "check ms");
+  for (const std::string &Name : workloads::polybenchKernels()) {
+    auto P = bench::mustParse(workloads::polybenchSource(Name, N));
+    auto Start = std::chrono::steady_clock::now();
+    analysis::BoundsReport R = analysis::checkBounds(*P);
+    KernelRow Row;
+    Row.Name = Name;
+    Row.CheckMs = msSince(Start);
+    Row.Checked = R.SubscriptsChecked;
+    Row.Proven = R.Proven;
+    Row.Violations = R.violations();
+    Row.Unproven = R.unproven();
+    Rows.push_back(Row);
+    std::printf("%-8s %10d %8d %10d %9d %9.3f\n", Name.c_str(), Row.Checked,
+                Row.Proven, Row.Violations, Row.Unproven, Row.CheckMs);
+  }
+
+  // Range-driven pruning on the dependent-range dgemm tile space: identical
+  // trajectory by construction, fewer objective invocations, less time.
+  std::vector<PruneRow> Prunes;
+  std::printf("\n%-10s %6s %9s %8s %9s %8s %9s\n", "searcher", "evals",
+              "by-range", "obj(on)", "obj(off)", "ms(on)", "ms(off)");
+  for (const char *Searcher : {"exhaustive", "random", "bandit", "tpe"}) {
+    PruneRow Row;
+    Row.Searcher = Searcher;
+    driver::SearchWorkflowResult On =
+        runTileSearch(Searcher, /*Prune=*/true, Budget, Row.SearchMsOn);
+    driver::SearchWorkflowResult Off =
+        runTileSearch(Searcher, /*Prune=*/false, Budget, Row.SearchMsOff);
+    Row.Evaluations = On.Search.Evaluations;
+    Row.PrunedByRange = On.Search.PrunedStaticByRange;
+    Row.ObjectiveCallsOn = On.Search.Evaluations - On.Search.PrunedStatic;
+    Row.ObjectiveCallsOff = Off.Search.Evaluations - Off.Search.PrunedStatic;
+    Prunes.push_back(Row);
+    std::printf("%-10s %6d %9d %8d %9d %8.1f %9.1f\n", Searcher,
+                Row.Evaluations, Row.PrunedByRange, Row.ObjectiveCallsOn,
+                Row.ObjectiveCallsOff, Row.SearchMsOn, Row.SearchMsOff);
+  }
+
+  writeJson(JsonPath, N, Budget, Rows, Prunes);
+}
+
+/// Microbenchmark: cost of one whole-program bounds scan.
+void BM_CheckBounds(benchmark::State &State) {
+  const std::vector<std::string> &Kernels = workloads::polybenchKernels();
+  const std::string &Name = Kernels[static_cast<size_t>(State.range(0)) %
+                                    Kernels.size()];
+  auto P = bench::mustParse(workloads::polybenchSource(Name, 40));
+  for (auto _ : State) {
+    analysis::BoundsReport R = analysis::checkBounds(*P);
+    benchmark::DoNotOptimize(R.Proven);
+  }
+  State.SetLabel(Name);
+}
+BENCHMARK(BM_CheckBounds)->Arg(0)->Arg(6)->Arg(7);
+
+} // namespace
+
+int main(int argc, char **argv) {
+  runRangesBench();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

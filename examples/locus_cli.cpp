@@ -65,13 +65,29 @@
 //                         the source and warn about regions where dependence
 //                         analysis is unavailable but the optimization
 //                         program wants dependence-based transformations,
-//                         and about provably-racy parallelizations;
+//                         about provably-racy parallelizations, and about
+//                         subscripts range analysis cannot prove in bounds;
 //                         prints nothing and exits 0 when everything is clean
+//   --lint-strict         like --lint, but exit 1 when any warning or error
+//                         is reported (lint gates the build); also hardens
+//                         --bounds-check the same way
 //   --verify-each         run the CIR verifier after every applied
 //                         transformation (variants failing verification are
 //                         rejected as illegal)
 //   --no-static-prune     disable the static legality oracle (every point
 //                         reaches the evaluator)
+//
+// Source-only static bounds proofs (no Locus program needed):
+//
+//   locus_cli --bounds-check SOURCE.c [--lint-strict]
+//
+//   --bounds-check        run symbolic range analysis over every array
+//                         subscript and print the bounds report: proven
+//                         subscripts are counted, everything else gets a
+//                         located witness naming the access, its interval,
+//                         and the loop that drives it. Exit 0 unless
+//                         --lint-strict is also given, in which case any
+//                         violation or unproven subscript exits 1.
 //
 // Pragma-free sources run through region discovery instead:
 //
@@ -95,6 +111,7 @@
 
 #include "src/analysis/Dependence.h"
 #include "src/analysis/ParallelSafety.h"
+#include "src/analysis/RangeAnalysis.h"
 #include "src/analysis/RegionDiscovery.h"
 #include "src/analysis/TransformPlan.h"
 #include "src/analysis/Verifier.h"
@@ -151,15 +168,17 @@ int usage(const char *Argv0) {
                "       [--journal FILE] [--journal-sync none|flush|full]\n"
                "       [--resume] [--no-eval-cache]\n"
                "       [--cache-dir DIR] [--cache-readonly]\n"
-               "       [--lint] [--race-check] [--trust-parallel]\n"
+               "       [--lint] [--lint-strict] [--race-check]\n"
+               "       [--trust-parallel]\n"
                "       [--verify-each] [--no-static-prune]\n"
                "       [--serve --queue-dir DIR [--workers N]\n"
                "        [--lease-timeout SECS]]\n"
                "       [--worker --queue-dir DIR [--worker-id ID]]\n"
+               "   or: %s --bounds-check SOURCE.c [--lint-strict]\n"
                "   or: %s --discover SOURCE.c [--discover-top N] [--tune]\n"
                "       [search options]\n"
                "   or: %s --journal-dump FILE | --queue-dump DIR-or-FILE\n",
-               Argv0, Argv0, Argv0);
+               Argv0, Argv0, Argv0, Argv0);
   return 2;
 }
 
@@ -331,12 +350,25 @@ int runRaceCheck(const cir::Program &Baseline) {
   return 0;
 }
 
+/// --bounds-check: source-only symbolic range analysis over every array
+/// subscript. Prints the report (per-finding located witnesses, summary
+/// line); exits 0 unless \p Strict, in which case any non-proven subscript
+/// exits 1.
+int runBoundsCheck(const cir::Program &Baseline, bool Strict) {
+  analysis::BoundsReport Report = analysis::checkBounds(Baseline);
+  std::printf("%s\n", Report.render().c_str());
+  return Strict && !Report.clean() ? 1 : 0;
+}
+
 /// Static diagnostics: CIR verifier findings plus dependence-availability
 /// warnings for regions the optimization program wants to transform with
-/// dependence-based modules, and race findings for loops that are (or that
-/// the optimization program asks to be) parallelized. Always exits 0 (lint
-/// never gates a build).
-int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
+/// dependence-based modules, race findings for loops that are (or that
+/// the optimization program asks to be) parallelized, and bounds findings
+/// for subscripts range analysis cannot prove in bounds. Exits 0 (lint
+/// never gates a build) unless \p Strict, in which case any printed
+/// finding exits 1.
+int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline,
+            bool Strict) {
   support::DiagEngine Diags;
   analysis::verifyProgram(Baseline, Diags);
 
@@ -445,10 +477,19 @@ int runLint(const lang::LocusProgram &Prog, const cir::Program &Baseline) {
     }
   }
 
+  // Bounds findings: subscripts range analysis cannot prove in bounds.
+  // Violations carry a concrete witness; unproven ones say what is missing.
+  analysis::BoundsReport Bounds = analysis::checkBounds(Baseline);
+  for (const analysis::SubscriptFinding &F : Bounds.Findings)
+    Diags.warning(F.Loc, F.Region, F.witness());
+
+  int Printed = 0;
   for (const support::Diag &D : Diags.all())
-    if (D.Sev != support::DiagSeverity::Note)
+    if (D.Sev != support::DiagSeverity::Note) {
       std::printf("%s\n", D.render().c_str());
-  return 0;
+      ++Printed;
+    }
+  return Strict && Printed > 0 ? 1 : 0;
 }
 
 /// --discover [--tune]: scan an unannotated source, print the ranked
@@ -515,10 +556,12 @@ int main(int argc, char **argv) {
   if (argc < 3)
     return usage(argv[0]);
   bool Discover = std::strcmp(argv[1], "--discover") == 0;
-  std::string ProgramPath = Discover ? "" : argv[1];
+  bool BoundsCheck = std::strcmp(argv[1], "--bounds-check") == 0;
+  std::string ProgramPath = Discover || BoundsCheck ? "" : argv[1];
   std::string SourcePath = argv[2];
 
   bool Direct = false, Native = false, Lint = false, RaceCheck = false;
+  bool LintStrict = false;
   bool Tune = false;
   bool Serve = false, Worker = false;
   int ServeWorkers = 1;
@@ -585,6 +628,9 @@ int main(int argc, char **argv) {
         }
       }
     } else if (Arg == "--lint") {
+      Lint = true;
+    } else if (Arg == "--lint-strict") {
+      LintStrict = true;
       Lint = true;
     } else if (Arg == "--race-check") {
       RaceCheck = true;
@@ -718,6 +764,8 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  if (BoundsCheck)
+    return runBoundsCheck(**Baseline, LintStrict);
   if (Discover)
     return runDiscover(**Baseline, Opts, DiscoverTop, Tune);
 
@@ -736,7 +784,7 @@ int main(int argc, char **argv) {
   if (RaceCheck)
     return runRaceCheck(**Baseline);
   if (Lint)
-    return runLint(**Prog, **Baseline);
+    return runLint(**Prog, **Baseline, LintStrict);
 
   // Degrade gracefully on compiler-less hosts: native measurement is an
   // upgrade, not a requirement, so fall back to the simulator with a clear
@@ -843,8 +891,11 @@ int main(int argc, char **argv) {
                 R->Search.DuplicatesSkipped);
     if (R->Search.ReplayedEvaluations > 0)
       std::printf(", %d replayed from journal", R->Search.ReplayedEvaluations);
-    if (R->Search.PrunedStatic > 0)
+    if (R->Search.PrunedStatic > 0) {
       std::printf(", %d pruned statically", R->Search.PrunedStatic);
+      if (R->Search.PrunedStaticByRange > 0)
+        std::printf(" (%d by range)", R->Search.PrunedStaticByRange);
+    }
     std::printf(")\n");
     for (int K = 1; K < search::NumFailureKinds; ++K)
       if (int N = R->Search.FailureCounts[static_cast<size_t>(K)])

@@ -1,0 +1,32 @@
+#define N 40
+
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j, k;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < N; k++)
+        tmp[i][j] = tmp[i][j] + alpha * A[i][k] * B[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      D[i][j] = D[i][j] * beta;
+      for (k = 0; k < N; k++)
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+    }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

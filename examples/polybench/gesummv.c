@@ -1,0 +1,29 @@
+#define N 40
+
+double A[N][N];
+double B[N][N];
+double tmp[N];
+double x[N];
+double y[N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

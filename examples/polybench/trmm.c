@@ -1,0 +1,20 @@
+#define N 40
+
+double A[N][N];
+double B[N][N];
+double alpha;
+
+int main()
+{
+  int i, j, k;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 1; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < i; k++)
+        B[i][j] = B[i][j] + alpha * A[i][k] * B[j][k];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}

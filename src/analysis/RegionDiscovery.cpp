@@ -4,6 +4,7 @@
 
 #include "src/analysis/Affine.h"
 #include "src/analysis/Dependence.h"
+#include "src/analysis/RangeAnalysis.h"
 #include "src/cir/AstUtils.h"
 #include "src/cir/Printer.h"
 #include "src/support/StringUtils.h"
@@ -269,23 +270,49 @@ struct TripInfo {
   bool Exact = true;
 };
 
+/// Trip count of one loop, refined by the symbolic ranges of its bounds when
+/// they are not plain constants: singleton intervals (e.g. a bound variable
+/// with a single possible value, `int n = 40;`) give an EXACT trip; bounded
+/// intervals give an upper-bound estimate (Exact stays false); only fully
+/// unbounded symbolic bounds fall back to \p SymbolicTrip.
+TripInfo loopTrip(const ForStmt &For,
+                  const std::map<const ForStmt *, LoopRange> &Ranges,
+                  uint64_t SymbolicTrip) {
+  if (auto T = constTrip(For))
+    return TripInfo{*T, true};
+  TripInfo Fallback{SymbolicTrip, false};
+  if (For.Step <= 0)
+    return Fallback;
+  auto It = Ranges.find(&For);
+  if (It == Ranges.end())
+    return Fallback;
+  const Interval &Init = It->second.Init;
+  const Interval &Limit = It->second.Limit; // exclusive upper limit
+  if (Init.Empty || Limit.Empty)
+    return TripInfo{0, true}; // provably never runs
+  if (Init.Lo == INT64_MIN || Limit.Hi == INT64_MAX)
+    return Fallback;
+  bool Exact = Init.Lo == Init.Hi && Limit.Lo == Limit.Hi;
+  int64_t Span = satSub(Limit.Hi, Init.Lo);
+  if (Span <= 0)
+    return TripInfo{0, Exact};
+  return TripInfo{static_cast<uint64_t>((Span + For.Step - 1) / For.Step),
+                  Exact};
+}
+
 /// Trip-count product along the deepest (maximum-product) chain of the nest
-/// rooted at \p For. Loops with symbolic bounds contribute \p SymbolicTrip
-/// and clear Exact.
-TripInfo chainTrips(const ForStmt &For, uint64_t SymbolicTrip) {
-  TripInfo Self;
-  if (auto T = constTrip(For)) {
-    Self.Product = *T;
-  } else {
-    Self.Product = SymbolicTrip;
-    Self.Exact = false;
-  }
+/// rooted at \p For. Loops with underivable symbolic bounds contribute
+/// \p SymbolicTrip and clear Exact; see loopTrip().
+TripInfo chainTrips(const ForStmt &For,
+                    const std::map<const ForStmt *, LoopRange> &Ranges,
+                    uint64_t SymbolicTrip) {
+  TripInfo Self = loopTrip(For, Ranges, SymbolicTrip);
   std::vector<ScanHit> Children;
   scanBlock(*For.Body, Children, [](const Block &) {});
   TripInfo Best; // no children: multiply by 1, stay exact
   bool HasChild = false;
   for (const ScanHit &C : Children) {
-    TripInfo CI = chainTrips(*C.Root, SymbolicTrip);
+    TripInfo CI = chainTrips(*C.Root, Ranges, SymbolicTrip);
     if (!HasChild || CI.Product > Best.Product) {
       Best = CI;
       HasChild = true;
@@ -449,6 +476,10 @@ DiscoveryReport discoverRegions(const Program &P,
     return Report;
   }
 
+  // Symbolic loop-bound ranges refine trip counts where evalConstInt fails
+  // (e.g. `for (i = 0; i < n; ...)` with `int n = 40;` in scope).
+  std::map<const ForStmt *, LoopRange> Ranges = loopBoundRanges(P);
+
   for (size_t I = 0; I < Hits.size(); ++I) {
     const ForStmt &Root = *Hits[I].Root;
     NestCandidate C;
@@ -477,7 +508,7 @@ DiscoveryReport discoverRegions(const Program &P,
 
     // Stage 3: hotness model. Depth x trip-count product, refined by the
     // machine-model latency of the footprint when bounds are concrete.
-    TripInfo Trips = chainTrips(Root, Opts.SymbolicTrip);
+    TripInfo Trips = chainTrips(Root, Ranges, Opts.SymbolicTrip);
     C.TripProduct = Trips.Product;
     C.TripExact = Trips.Exact;
     C.FootprintBytes = estimateFootprint(P, Root);

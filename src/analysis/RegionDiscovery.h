@@ -91,11 +91,15 @@ struct NestCandidate {
   bool DepAvailable = false;
 
   // Hotness model (see DESIGN.md "Region discovery").
-  /// Product of per-loop trip counts along the deepest chain; loops with
-  /// non-constant bounds contribute DiscoveryOptions::SymbolicTrip.
+  /// Product of per-loop trip counts along the deepest chain. Symbolic
+  /// bounds are refined by range analysis: a bound whose interval is a
+  /// singleton gives the exact trip, a bounded interval gives an
+  /// upper-bound estimate, and only fully unbounded bounds fall back to
+  /// DiscoveryOptions::SymbolicTrip.
   uint64_t TripProduct = 1;
-  /// True when every trip count along the chain was a compile-time
-  /// constant (bounds fully concrete).
+  /// True when every trip count along the chain is exactly known — from a
+  /// compile-time-constant bound or a singleton bound interval; estimates
+  /// and SymbolicTrip fallbacks clear it.
   bool TripExact = false;
   /// Estimated distinct bytes touched per nest execution; 0 when unknown
   /// (symbolic bounds or undeclared arrays).

@@ -2,6 +2,7 @@
 
 #include "src/analysis/Verifier.h"
 
+#include "src/analysis/RangeAnalysis.h"
 #include "src/cir/AstUtils.h"
 #include "src/cir/Parser.h"
 #include "src/cir/Printer.h"
@@ -227,6 +228,48 @@ void checkRoundTrip(const Program &P, support::DiagEngine &Diags) {
                 "unparse→reparse round trip does not reproduce the program");
 }
 
+/// Range-analysis cross-checks of a transformed region against its
+/// pre-transform clone: the transformed nest's iteration-space box must stay
+/// contained in the original's (per loop variable that survives with its
+/// name; generated tile/skew variables are new names and are skipped), and no
+/// subscript may become *definitely* out of bounds (every point of its
+/// interval outside the extent). May-out-of-bounds intervals are NOT errors
+/// here: interval arithmetic loses cross-variable correlation (e.g. skewed
+/// subscripts), so only definite findings indict the rewrite.
+void checkIterationSpace(const Program &P, const Block &Region,
+                         const Block &Before, support::DiagEngine &Diags) {
+  analysis::RangeEnv Base = analysis::envAtBlock(P, &Region);
+  std::map<std::string, analysis::Interval> AfterBox =
+      analysis::iterationBox(Region, Base);
+  std::map<std::string, analysis::Interval> BeforeBox =
+      analysis::iterationBox(Before, Base);
+  support::SrcLoc Loc = Region.Loc;
+  if (!Loc.valid() && !Region.Stmts.empty())
+    Loc = Region.Stmts.front()->Loc;
+  for (const auto &[Var, After] : AfterBox) {
+    auto It = BeforeBox.find(Var);
+    if (It == BeforeBox.end() || After.Empty)
+      continue;
+    const analysis::Interval &B4 = It->second;
+    bool LoViol =
+        B4.Lo != INT64_MIN && After.Lo != INT64_MIN && After.Lo < B4.Lo;
+    bool HiViol =
+        B4.Hi != INT64_MAX && After.Hi != INT64_MAX && After.Hi > B4.Hi;
+    if (LoViol || HiViol)
+      Diags.error(Loc, Region.RegionName,
+                  "iteration-space containment violated: loop `" + Var +
+                      "` ranges over " + After.str() +
+                      " after the transformation but " + B4.str() +
+                      " before");
+  }
+  analysis::BoundsReport BR = analysis::checkBounds(P);
+  for (const analysis::SubscriptFinding &F : BR.Findings)
+    if (F.Definite && F.Region == Region.RegionName)
+      Diags.error(F.Loc, F.Region,
+                  "transformation drives a subscript out of bounds: " +
+                      F.witness());
+}
+
 std::optional<long long> countInstances(const Stmt &S) {
   switch (S.kind()) {
   case StmtKind::Block: {
@@ -303,6 +346,8 @@ bool verifyAfterTransform(const cir::Program &P, const cir::Block &Region,
                       std::to_string(*CountAfter) + " after");
     }
   }
+  if (Before)
+    checkIterationSpace(P, Region, *Before, Diags);
   return Diags.errorCount() == ErrorsBefore;
 }
 

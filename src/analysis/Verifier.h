@@ -59,7 +59,10 @@ std::optional<long long> countAssignInstances(const cir::Block &B);
 /// Post-transformation verification: verifyProgram() on the whole program
 /// plus, when \p CheckInstanceCounts is set and \p Before is non-null,
 /// statement-instance accounting of \p Region against its pre-transform
-/// clone \p Before. Returns true when no errors were found.
+/// clone \p Before. When \p Before is non-null the range-analysis
+/// cross-checks also run: the transformed nest's iteration-space box must be
+/// contained in the original's, and no subscript may become definitely out
+/// of bounds (see RangeAnalysis.h). Returns true when no errors were found.
 bool verifyAfterTransform(const cir::Program &P, const cir::Block &Region,
                           const cir::Block *Before, bool CheckInstanceCounts,
                           support::DiagEngine &Diags);

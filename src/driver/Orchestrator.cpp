@@ -535,6 +535,8 @@ Expected<SearchWorkflowResult> Orchestrator::runSearch() {
 
   Result.Search = Searcher->search(Result.Space, Guarded, SOpts);
   Result.Guard = Guarded.stats();
+  if (Oracle)
+    Result.Search.PrunedStaticByRange = Oracle->rangePrunedCount();
   if (Coord) {
     // Append the shutdown record and wind the fleet down before reading
     // final stats; the queue dir stays behind as the recoverable record.

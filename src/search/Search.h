@@ -201,6 +201,9 @@ struct SearchResult {
   int DuplicatesSkipped = 0;   ///< proposals identical to evaluated variants
   int PrunedStatic = 0;        ///< of InvalidPoints, proven by StaticFilter
                                ///< without invoking the objective
+  int PrunedStaticByRange = 0; ///< of PrunedStatic, proven by symbolic
+                               ///< dependent-range resolution (filled by the
+                               ///< driver from the legality oracle)
   /// Duplicate proposals served a memoized outcome instead of being
   /// re-assessed (the canonical counter; DuplicatesSkipped mirrors it for
   /// backward compatibility). Variant-level dedup across *distinct* points

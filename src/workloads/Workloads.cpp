@@ -907,8 +907,8 @@ std::string fig13GenericProgram() {
 }
 
 const std::vector<std::string> &polybenchKernels() {
-  static const std::vector<std::string> Names = {"gemver", "atax", "bicg",
-                                                 "mvt", "syrk"};
+  static const std::vector<std::string> Names = {
+      "gemver", "atax", "bicg", "mvt", "syrk", "gesummv", "trmm", "2mm"};
   return Names;
 }
 
@@ -1051,6 +1051,92 @@ int main()
     for (j = 0; j < N; j++)
       for (k = 0; k < N; k++)
         C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else if (Name == "gesummv") {
+    Out << R"(
+double A[N][N];
+double B[N][N];
+double tmp[N];
+double x[N];
+double y[N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++) {
+    tmp[i] = 0.0;
+    y[i] = 0.0;
+    for (j = 0; j < N; j++) {
+      tmp[i] = A[i][j] * x[j] + tmp[i];
+      y[i] = B[i][j] * x[j] + y[i];
+    }
+    y[i] = alpha * tmp[i] + beta * y[i];
+  }
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else if (Name == "trmm") {
+    // Triangular bound: the inner loop runs k in [0, i-1], a dependent
+    // range only symbolic range analysis can prove within extents.
+    Out << R"(
+double A[N][N];
+double B[N][N];
+double alpha;
+
+int main()
+{
+  int i, j, k;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 1; i < N; i++)
+    for (j = 0; j < N; j++)
+      for (k = 0; k < i; k++)
+        B[i][j] = B[i][j] + alpha * A[i][k] * B[j][k];
+  t_end = rtclock();
+  print_array();
+  return 0;
+}
+)";
+  } else if (Name == "2mm") {
+    Out << R"(
+double A[N][N];
+double B[N][N];
+double C[N][N];
+double D[N][N];
+double tmp[N][N];
+double alpha;
+double beta;
+
+int main()
+{
+  int i, j, k;
+  double t_start, t_end;
+  init_array();
+  t_start = rtclock();
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      tmp[i][j] = 0.0;
+      for (k = 0; k < N; k++)
+        tmp[i][j] = tmp[i][j] + alpha * A[i][k] * B[k][j];
+    }
+  for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+      D[i][j] = D[i][j] * beta;
+      for (k = 0; k < N; k++)
+        D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+    }
   t_end = rtclock();
   print_array();
   return 0;

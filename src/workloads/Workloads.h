@@ -132,9 +132,12 @@ std::string fig13GenericProgram();
 //===----------------------------------------------------------------------===//
 
 /// Names of the unannotated PolyBench-style kernels: "gemver", "atax",
-/// "bicg", "mvt", "syrk". Unlike every other workload these carry no
-/// `#pragma @Locus` markers — they are the inputs region discovery must
-/// find nests in by itself (`locus_cli --discover`).
+/// "bicg", "mvt", "syrk", "gesummv", "trmm", "2mm". Unlike every other
+/// workload these carry no `#pragma @Locus` markers — they are the inputs
+/// region discovery must find nests in by itself (`locus_cli --discover`),
+/// and the corpus the static bounds verifier proves in bounds
+/// (`locus_cli --bounds-check`); trmm's triangular inner loop (`k < i`)
+/// is the dependent-range proof case.
 const std::vector<std::string> &polybenchKernels();
 
 /// Pragma-free MiniC source of PolyBench kernel \p Name at problem size

@@ -87,7 +87,8 @@ int countVerdict(const DiscoveryReport &R, CandidateVerdict V) {
 /// kernel, every nest is annotatable, and names follow the rank order.
 TEST(RegionDiscovery, FindsPolybenchNests) {
   const std::map<std::string, int> ExpectedNests = {
-      {"gemver", 4}, {"atax", 2}, {"bicg", 2}, {"mvt", 2}, {"syrk", 2}};
+      {"gemver", 4}, {"atax", 2},    {"bicg", 2}, {"mvt", 2},
+      {"syrk", 2},   {"gesummv", 1}, {"trmm", 1}, {"2mm", 2}};
   for (const std::string &Kernel : workloads::polybenchKernels()) {
     auto P = parseCOrDie(workloads::polybenchSource(Kernel, 40));
     DiscoveryReport R = analysis::discoverRegions(*P);
@@ -99,7 +100,9 @@ TEST(RegionDiscovery, FindsPolybenchNests) {
     for (size_t I = 0; I < R.Candidates.size(); ++I) {
       EXPECT_EQ(R.Candidates[I].Name, "scop" + std::to_string(I)) << Kernel;
       EXPECT_TRUE(R.Candidates[I].Loc.valid()) << Kernel;
-      EXPECT_TRUE(R.Candidates[I].TripExact) << Kernel;
+      // trmm's triangular inner bound (k < i) gives a range-refined trip
+      // *estimate*; every other kernel has compile-time-exact trips.
+      EXPECT_EQ(R.Candidates[I].TripExact, Kernel != "trmm") << Kernel;
     }
     // Ranked report renders every candidate.
     std::string Text = R.render();

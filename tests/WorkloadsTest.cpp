@@ -84,7 +84,7 @@ TEST(Workloads, KripkeSnippetsCoverAllKernelsAndLayouts) {
 }
 
 TEST(Workloads, PolybenchSourcesAreUnannotatedAndRun) {
-  ASSERT_EQ(workloads::polybenchKernels().size(), 5u);
+  ASSERT_EQ(workloads::polybenchKernels().size(), 8u);
   for (const std::string &Name : workloads::polybenchKernels()) {
     std::string Source = workloads::polybenchSource(Name, 8);
     // These are the region-discovery inputs: no @Locus markers anywhere.
